@@ -1,0 +1,93 @@
+//! Cost of the allocation-algorithm building blocks: Lookahead (convex and
+//! cliff inputs), VM-curve combining, convex hulls, and placement
+//! descriptor construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jumanji::cache::MissCurve;
+use jumanji::core::lookahead::{jumanji_lookahead, lookahead};
+use jumanji::types::BankId;
+use jumanji::vc::PlacementDescriptor;
+use std::hint::black_box;
+
+fn convex_curves(n: usize, units: usize) -> Vec<MissCurve> {
+    (0..n)
+        .map(|i| {
+            let ws = 20.0 + 30.0 * i as f64;
+            let pts: Vec<f64> = (0..=units).map(|u| 1e7 / (1.0 + u as f64 / ws)).collect();
+            MissCurve::new(32 * 1024, pts)
+        })
+        .collect()
+}
+
+fn cliff_curves(n: usize, units: usize) -> Vec<MissCurve> {
+    (0..n)
+        .map(|i| {
+            let cliff = 40 + 25 * i;
+            let pts: Vec<f64> = (0..=units)
+                .map(|u| if u < cliff { 1e7 } else { 1e6 })
+                .collect();
+            MissCurve::new(32 * 1024, pts)
+        })
+        .collect()
+}
+
+fn lookahead_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lookahead");
+    let convex = convex_curves(20, 640);
+    group.bench_function("convex_20apps_640units", |b| {
+        b.iter(|| black_box(lookahead(black_box(&convex), 640)))
+    });
+    let cliffs = cliff_curves(8, 640);
+    group.bench_function("cliffs_8apps_640units", |b| {
+        b.iter(|| black_box(lookahead(black_box(&cliffs), 640)))
+    });
+    let vm_curves = convex_curves(4, 640);
+    let lc = [40.0, 55.0, 33.0, 61.0];
+    group.bench_function("jumanji_bank_granular", |b| {
+        b.iter(|| black_box(jumanji_lookahead(black_box(&vm_curves), &lc, 20, 32)))
+    });
+    group.finish();
+}
+
+fn curve_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("miss_curves");
+    let raw = MissCurve::new(
+        32 * 1024,
+        (0..=640)
+            .map(|u| 1e7 / (1.0 + (u % 97) as f64) + 1e6 * ((640 - u) as f64 / 640.0))
+            .collect(),
+    );
+    group.bench_function("convex_hull_640", |b| {
+        b.iter(|| black_box(black_box(&raw).convex_hull()))
+    });
+    let members = convex_curves(4, 640);
+    group.bench_function("combine_convex_4x640", |b| {
+        b.iter(|| black_box(MissCurve::combine_convex(black_box(&members))))
+    });
+    group.finish();
+}
+
+fn descriptor_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vtb");
+    let shares: Vec<(BankId, f64)> = (0..5).map(|i| (BankId(i), 1.0 + i as f64)).collect();
+    group.bench_function("descriptor_from_shares", |b| {
+        b.iter(|| black_box(PlacementDescriptor::from_shares(black_box(&shares))))
+    });
+    let desc = PlacementDescriptor::from_shares(&shares);
+    group.bench_function("descriptor_lookup", |b| {
+        let mut line = 0u64;
+        b.iter(|| {
+            line = line.wrapping_add(1);
+            black_box(desc.bank_for(line))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    lookahead_benches,
+    curve_benches,
+    descriptor_benches
+);
+criterion_main!(benches);

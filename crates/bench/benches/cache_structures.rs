@@ -1,0 +1,123 @@
+//! Throughput of the detailed hardware structures: cache banks under each
+//! replacement policy, the bank-port simulator, and the UMON profiler.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use jumanji::cache::{BankConfig, CacheBank, PartitionId, ReplPolicy, StackProfiler};
+use jumanji::noc::BankPorts;
+use jumanji::types::Cycles;
+use jumanji::umon::Umon;
+use std::hint::black_box;
+
+const N: usize = 10_000;
+
+fn bank_access(c: &mut Criterion) {
+    let stream: Vec<u64> = (0..N as u64).map(|i| (i * 7 + i / 5) % 4096).collect();
+    let mut group = c.benchmark_group("cache_bank");
+    group.throughput(Throughput::Elements(N as u64));
+    for (label, policy) in [
+        ("lru", ReplPolicy::Lru),
+        ("srrip", ReplPolicy::Srrip),
+        ("drrip", ReplPolicy::Drrip),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut bank = CacheBank::new(BankConfig {
+                    sets: 512,
+                    ways: 32,
+                    policy,
+                });
+                for &l in &stream {
+                    black_box(bank.access(l, PartitionId(0)));
+                }
+                bank.stats().misses()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn monitors(c: &mut Criterion) {
+    let stream: Vec<u64> = (0..N as u64).map(|i| (i * 13) % 8192).collect();
+    let mut group = c.benchmark_group("monitor");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("umon_sampled", |b| {
+        b.iter(|| {
+            let mut umon = Umon::new(32, 32, 512);
+            for &l in &stream {
+                umon.observe(l);
+            }
+            black_box(umon.lru_curve())
+        })
+    });
+    group.bench_function("mattson_exact", |b| {
+        b.iter(|| {
+            let mut prof = StackProfiler::new();
+            for &l in &stream {
+                prof.record(l);
+            }
+            black_box(prof.miss_curve(64, 32))
+        })
+    });
+    group.finish();
+}
+
+fn ports(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc_port");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("contended_requests", |b| {
+        b.iter(|| {
+            let mut port = BankPorts::new(1, Cycles(4));
+            let mut t = 0u64;
+            for i in 0..N as u64 {
+                let g = port.request(Cycles(t));
+                if i % 3 == 0 {
+                    port.request(Cycles(t)); // competing requester
+                }
+                t = g.done.as_u64();
+            }
+            black_box(port.stats())
+        })
+    });
+    group.finish();
+}
+
+fn detailed_sim(c: &mut Criterion) {
+    use jumanji::core::{DesignKind, PlacementInput};
+    use jumanji::prelude::*;
+    use jumanji::sim::detail::{run_detailed, DetailOptions};
+    use jumanji::sim::perf::Profile;
+    use jumanji::workloads::LcLoad;
+
+    let cfg = SystemConfig::micro2020();
+    let input = PlacementInput::example(&cfg);
+    let lc = tailbench();
+    let batch = spec2006();
+    let profiles: Vec<Profile> = input
+        .apps
+        .iter()
+        .enumerate()
+        .map(|(i, a)| match a.kind {
+            jumanji::core::AppKind::LatencyCritical => {
+                Profile::Lc(lc[i % lc.len()].clone(), LcLoad::High)
+            }
+            jumanji::core::AppKind::Batch => Profile::Batch(batch[i % batch.len()].clone()),
+        })
+        .collect();
+    let cores: Vec<_> = input.apps.iter().map(|a| a.core).collect();
+    let vms: Vec<_> = input.apps.iter().map(|a| a.vm).collect();
+    let alloc = DesignKind::Jumanji.allocate(&input);
+    let opts = DetailOptions {
+        cfg,
+        accesses_per_app: 2_000,
+        ..DetailOptions::default()
+    };
+    let mut group = c.benchmark_group("detail_sim");
+    group.throughput(Throughput::Elements(2_000 * 20));
+    group.bench_function("full_system_accesses", |b| {
+        b.iter(|| black_box(run_detailed(&opts, &profiles, &cores, &vms, &alloc)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bank_access, monitors, ports, detailed_sim);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Fig. 13: the main result — normalized tail latency and gmean batch
+//! weighted speedup (relative to Static) over random batch mixes, at high
+//! and low latency-critical load, for each workload group and design.
+//!
+//! Box-and-whisker rows: min, q1, median, q3, max over mixes.
+
+use jumanji::prelude::*;
+use jumanji_bench::{mix_count, run_matrix, BoxStats, LcGroup, PAPER_MIXES};
+
+fn main() {
+    let mixes = mix_count(PAPER_MIXES);
+    let designs = DesignKind::main_four();
+    let opts = SimOptions::default();
+    println!("# Fig. 13: tail latency + batch speedup over {mixes} random mixes");
+    println!("group\tload\tdesign\tmetric\tmin\tq1\tmedian\tq3\tmax");
+    for load in [LcLoad::High, LcLoad::Low] {
+        let load_label = match load {
+            LcLoad::High => "high",
+            LcLoad::Low => "low",
+        };
+        for group in LcGroup::all() {
+            let cells = run_matrix(group, load, &designs, mixes, &opts);
+            for (design, cell) in designs.iter().zip(&cells) {
+                println!(
+                    "{}\t{}\t{}\tnorm_tail\t{}",
+                    group.label(),
+                    load_label,
+                    design,
+                    BoxStats::of(&cell.norm_tails).tsv()
+                );
+                println!(
+                    "{}\t{}\t{}\tspeedup\t{}",
+                    group.label(),
+                    load_label,
+                    design,
+                    BoxStats::of(&cell.speedups).tsv()
+                );
+            }
+            // Per-group gmean summary (quoted in the text).
+            for (design, cell) in designs.iter().zip(&cells) {
+                eprintln!(
+                    "[summary] {} {} {}: gmean speedup {:+.1}%, median norm tail {:.2}",
+                    group.label(),
+                    load_label,
+                    design,
+                    (cell.gmean_speedup() - 1.0) * 100.0,
+                    BoxStats::of(&cell.norm_tails).median
+                );
+            }
+        }
+    }
+    println!("# expected: Adaptive/VM-Part/Jumanji norm tails ~<=1 (rare exceptions);");
+    println!("# Jigsaw violates massively (up to 100x+); speedups: Jumanji 11-15%,");
+    println!("# Jigsaw 11-18%, Adaptive <=4%, VM-Part <=3%.");
+}

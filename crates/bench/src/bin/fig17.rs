@@ -1,0 +1,42 @@
+//! Fig. 17: Jumanji's batch speedup as the 20 applications are grouped
+//! into 1 to 12 VMs (mixed latency-critical apps, high load).
+
+use jumanji::prelude::*;
+use jumanji::sim::metrics::gmean;
+use jumanji::workloads::WorkloadMix;
+use jumanji_bench::mix_count;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn main() {
+    let mixes = mix_count(8);
+    let opts = SimOptions::default();
+    println!(
+        "# Fig. 17: Jumanji batch speedup vs number of VMs ({mixes} mixes, mixed LC, high load)"
+    );
+    println!("config\tgmean_speedup_pct\tworst_norm_tail");
+    for (label, spec) in fig17_configs() {
+        let mut speedups = Vec::new();
+        let mut worst_tail: f64 = 0.0;
+        for seed in 0..mixes as u64 {
+            // Four distinct LC servers, as in the Mixed group.
+            let mut pool = tailbench();
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xF17);
+            pool.shuffle(&mut rng);
+            pool.truncate(4);
+            let mix = WorkloadMix::from_spec(&spec, &pool, seed);
+            let exp = Experiment::new(mix, LcLoad::High, opts.clone());
+            let baseline = exp.run(DesignKind::Static);
+            let r = exp.run(DesignKind::Jumanji);
+            speedups.push(r.weighted_speedup_vs(&baseline));
+            worst_tail = worst_tail.max(r.max_norm_tail());
+        }
+        println!(
+            "{label}\t{:.2}\t{:.3}",
+            (gmean(&speedups) - 1.0) * 100.0,
+            worst_tail
+        );
+    }
+    println!("# expected: speedup roughly flat from 1 VM (~16%) to 12 VMs (~13%).");
+}

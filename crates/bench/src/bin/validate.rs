@@ -1,0 +1,68 @@
+//! Cross-validation of the two simulator layers: for each application, the
+//! analytic epoch model's miss ratio and hop distance vs. the detailed
+//! execution-driven simulation of the same allocation.
+
+use jumanji::core::AppKind;
+use jumanji::prelude::*;
+use jumanji::sim::detail::{run_detailed, DetailOptions};
+use jumanji::sim::perf::{evaluate, Profile};
+use jumanji::types::{CoreId, VmId};
+use jumanji::workloads::LcLoad;
+
+fn main() {
+    let cfg = SystemConfig::micro2020();
+    let input = PlacementInput::example(&cfg);
+    let lc = tailbench();
+    let batch = spec2006();
+    let mut profiles = Vec::new();
+    for (i, a) in input.apps.iter().enumerate() {
+        profiles.push(match a.kind {
+            AppKind::LatencyCritical => Profile::Lc(lc[i % lc.len()].clone(), LcLoad::High),
+            AppKind::Batch => Profile::Batch(batch[i % batch.len()].clone()),
+        });
+    }
+    let cores: Vec<CoreId> = input.apps.iter().map(|a| a.core).collect();
+    let vms: Vec<VmId> = input.apps.iter().map(|a| a.vm).collect();
+    let rates: Vec<f64> = profiles
+        .iter()
+        .map(|p| match p {
+            Profile::Batch(b) => 1.5e9 * b.llc_apki / 1000.0,
+            Profile::Lc(l, load) => l.qps(*load) * l.accesses_per_req,
+        })
+        .collect();
+
+    println!("# Analytic vs detailed simulation, per app, two designs");
+    println!("design\tapp\tcap_mb\tmr_analytic\tmr_detailed\thops_analytic\thops_detailed");
+    for design in [DesignKind::Adaptive, DesignKind::Jumanji] {
+        let alloc = design.allocate(&input);
+        let analytic = evaluate(&cfg, &profiles, &cores, &alloc, &rates);
+        let detail = run_detailed(
+            &DetailOptions {
+                cfg: cfg.clone(),
+                accesses_per_app: 80_000,
+                ..DetailOptions::default()
+            },
+            &profiles,
+            &cores,
+            &vms,
+            &alloc,
+        );
+        for i in 0..profiles.len() {
+            println!(
+                "{}\t{}\t{:.2}\t{:.3}\t{:.3}\t{:.2}\t{:.2}",
+                design,
+                profiles[i].name(),
+                analytic[i].capacity_bytes / 1048576.0,
+                analytic[i].miss_ratio,
+                detail.apps[i].miss_ratio(),
+                analytic[i].avg_hops,
+                detail.apps[i].avg_hops(),
+            );
+        }
+        println!(
+            "# {design}: VM-isolated in real cache state: {}",
+            detail.vm_isolated(&vms)
+        );
+    }
+    println!("# expected: columns agree within coarse tolerance; Jumanji isolated, Adaptive not.");
+}

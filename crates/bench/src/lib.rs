@@ -1,0 +1,253 @@
+//! Shared harness code for the figure-reproduction binaries.
+//!
+//! Every table and figure in the paper's evaluation has a binary in
+//! `src/bin/` (`fig04` … `fig18`, `table2`, `table3`) that regenerates the
+//! corresponding rows/series as TSV on stdout. This library holds the
+//! common machinery: design matrices over random mixes, box-plot summary
+//! statistics, and output helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use jumanji::prelude::*;
+use jumanji::sim::metrics::gmean;
+
+/// Number of random batch mixes per configuration in the paper (Fig. 13).
+pub const PAPER_MIXES: usize = 40;
+
+/// Reads the mix count from the command line (`--mixes N`), the
+/// `JUMANJI_MIXES` env var, or defaults to `default`.
+pub fn mix_count(default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--mixes") {
+        if let Some(n) = args.get(pos + 1).and_then(|v| v.parse().ok()) {
+            return n;
+        }
+    }
+    std::env::var("JUMANJI_MIXES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Five-number summary for box-and-whisker figures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    /// Minimum (lower whisker).
+    pub min: f64,
+    /// Lower quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Upper quartile.
+    pub q3: f64,
+    /// Maximum (upper whisker).
+    pub max: f64,
+}
+
+impl BoxStats {
+    /// Computes the summary of a non-empty sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn of(values: &[f64]) -> BoxStats {
+        assert!(!values.is_empty(), "need at least one value");
+        let mut v = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let q = |p: f64| -> f64 {
+            let idx = p * (v.len() - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            let frac = idx - lo as f64;
+            v[lo] * (1.0 - frac) + v[hi] * frac
+        };
+        BoxStats {
+            min: v[0],
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            max: v[v.len() - 1],
+        }
+    }
+
+    /// TSV fields `min q1 median q3 max`.
+    pub fn tsv(&self) -> String {
+        format!(
+            "{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}",
+            self.min, self.q1, self.median, self.q3, self.max
+        )
+    }
+}
+
+/// Result of running one (workload group, load, design) cell of Fig. 13:
+/// distributions over mixes.
+#[derive(Debug, Clone)]
+pub struct DesignCell {
+    /// Worst LC normalized tail latency per mix.
+    pub norm_tails: Vec<f64>,
+    /// Batch weighted speedup vs. Static per mix.
+    pub speedups: Vec<f64>,
+    /// Mean vulnerability per mix.
+    pub vulnerability: Vec<f64>,
+    /// Energy components per mix `(l1, l2, llc, noc, mem)`.
+    pub energy: Vec<(f64, f64, f64, f64, f64)>,
+}
+
+impl DesignCell {
+    /// Geometric-mean speedup over mixes.
+    pub fn gmean_speedup(&self) -> f64 {
+        gmean(&self.speedups)
+    }
+
+    /// Mean vulnerability over mixes.
+    pub fn mean_vulnerability(&self) -> f64 {
+        self.vulnerability.iter().sum::<f64>() / self.vulnerability.len() as f64
+    }
+}
+
+/// Workload selector for a Fig. 13 group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LcGroup {
+    /// Four instances of the named TailBench server.
+    Same(&'static str),
+    /// Four random distinct servers per mix.
+    Mixed,
+}
+
+impl LcGroup {
+    /// The six groups of Fig. 13, in plotting order.
+    pub fn all() -> [LcGroup; 6] {
+        [
+            LcGroup::Same("masstree"),
+            LcGroup::Same("xapian"),
+            LcGroup::Same("img-dnn"),
+            LcGroup::Same("silo"),
+            LcGroup::Same("moses"),
+            LcGroup::Mixed,
+        ]
+    }
+
+    /// Display label.
+    pub fn label(self) -> String {
+        match self {
+            LcGroup::Same(n) => n.to_string(),
+            LcGroup::Mixed => "Mixed".to_string(),
+        }
+    }
+
+    /// Builds the mix for seed `seed`.
+    pub fn mix(self, seed: u64) -> WorkloadMix {
+        match self {
+            LcGroup::Same(name) => {
+                let lc = tailbench()
+                    .into_iter()
+                    .find(|p| p.name == name)
+                    .unwrap_or_else(|| panic!("unknown LC app {name}"));
+                WorkloadMix::uniform_lc(&lc, seed)
+            }
+            LcGroup::Mixed => WorkloadMix::mixed_lc(seed),
+        }
+    }
+}
+
+/// Runs `design` and the Static baseline over `mixes` random mixes of one
+/// workload group at one load, collecting the Fig. 13 distributions.
+///
+/// Baseline runs are cached across designs by the caller if needed; this
+/// function runs them inline for simplicity.
+pub fn run_cell(
+    group: LcGroup,
+    load: LcLoad,
+    design: DesignKind,
+    mixes: usize,
+    opts: &SimOptions,
+) -> DesignCell {
+    let mut cell = DesignCell {
+        norm_tails: Vec::with_capacity(mixes),
+        speedups: Vec::with_capacity(mixes),
+        vulnerability: Vec::with_capacity(mixes),
+        energy: Vec::with_capacity(mixes),
+    };
+    for seed in 0..mixes as u64 {
+        let mut opts = opts.clone();
+        opts.seed ^= seed.wrapping_mul(0x9E37_79B9);
+        let exp = Experiment::new(group.mix(seed), load, opts);
+        let baseline = exp.run(DesignKind::Static);
+        let r = exp.run(design);
+        cell.norm_tails.push(r.max_norm_tail());
+        cell.speedups.push(r.weighted_speedup_vs(&baseline));
+        cell.vulnerability.push(r.vulnerability);
+        let e = r.energy_per_instruction();
+        cell.energy.push((e.l1, e.l2, e.llc, e.noc, e.mem));
+    }
+    cell
+}
+
+/// Runs every design (plus baseline) over mixes, returning per-design
+/// cells in `designs` order — shares the Static baseline across designs.
+pub fn run_matrix(
+    group: LcGroup,
+    load: LcLoad,
+    designs: &[DesignKind],
+    mixes: usize,
+    opts: &SimOptions,
+) -> Vec<DesignCell> {
+    let mut cells: Vec<DesignCell> = designs
+        .iter()
+        .map(|_| DesignCell {
+            norm_tails: Vec::with_capacity(mixes),
+            speedups: Vec::with_capacity(mixes),
+            vulnerability: Vec::with_capacity(mixes),
+            energy: Vec::with_capacity(mixes),
+        })
+        .collect();
+    for seed in 0..mixes as u64 {
+        let mut opts = opts.clone();
+        opts.seed ^= seed.wrapping_mul(0x9E37_79B9);
+        let exp = Experiment::new(group.mix(seed), load, opts);
+        let baseline = exp.run(DesignKind::Static);
+        for (d, design) in designs.iter().enumerate() {
+            let r = if *design == DesignKind::Static {
+                baseline.clone()
+            } else {
+                exp.run(*design)
+            };
+            cells[d].norm_tails.push(r.max_norm_tail());
+            cells[d].speedups.push(r.weighted_speedup_vs(&baseline));
+            cells[d].vulnerability.push(r.vulnerability);
+            let e = r.energy_per_instruction();
+            cells[d].energy.push((e.l1, e.l2, e.llc, e.noc, e.mem));
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_stats_quartiles() {
+        let s = BoxStats::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+    }
+
+    #[test]
+    fn groups_enumerate_the_paper_order() {
+        let labels: Vec<String> = LcGroup::all().iter().map(|g| g.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["masstree", "xapian", "img-dnn", "silo", "moses", "Mixed"]
+        );
+    }
+
+    #[test]
+    fn mix_count_default() {
+        assert_eq!(mix_count(12), 12);
+    }
+}

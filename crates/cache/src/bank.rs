@@ -1,0 +1,781 @@
+//! A detailed set-associative cache bank with way-partitioning and
+//! set-dueling DRRIP.
+//!
+//! The bank models exactly the shared microarchitectural state the paper's
+//! security analysis cares about (Fig. 10):
+//!
+//! - **Cache sets** (① conflict attacks): partitions restrict *insertions*
+//!   to a [`WayMask`], like Intel CAT, so disjoint masks eliminate conflict
+//!   evictions between partitions.
+//! - **Replacement state** (③ performance leakage): DRRIP's PSEL counter is
+//!   a single, bank-wide register shared by *all* partitions, so co-running
+//!   applications still influence each other's replacement policy even when
+//!   their way masks are disjoint.
+//!
+//! Bank *port* contention (② port attacks) is timing behaviour and is
+//! modeled by `nuca-noc`'s port simulator.
+
+use crate::replacement::{InsertFlavor, ReplState, BRRIP_LONG_INTERVAL, RRPV_MAX};
+use crate::{LineAddr, ReplPolicy};
+use core::fmt;
+
+/// Identifies a way-partition within a bank (e.g., one per application or
+/// one per VM, depending on the LLC design).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PartitionId(pub usize);
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "part{}", self.0)
+    }
+}
+
+/// A bitmask over the ways of one bank, restricting where a partition may
+/// insert lines (Intel CAT-style capacity bitmask).
+///
+/// # Examples
+///
+/// ```
+/// use nuca_cache::WayMask;
+/// let m = WayMask::first_n(4);
+/// assert_eq!(m.count(), 4);
+/// assert!(m.contains(3));
+/// assert!(!m.contains(4));
+/// assert!(WayMask::first_n(2).intersects(WayMask::first_n(4)));
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WayMask(pub u64);
+
+impl WayMask {
+    /// A mask allowing every way of a `ways`-way bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways > 64`.
+    pub fn all(ways: u32) -> WayMask {
+        assert!(ways <= 64, "way masks support at most 64 ways");
+        if ways == 64 {
+            WayMask(u64::MAX)
+        } else {
+            WayMask((1u64 << ways) - 1)
+        }
+    }
+
+    /// A mask of the lowest `n` ways.
+    pub fn first_n(n: u32) -> WayMask {
+        WayMask::all(n)
+    }
+
+    /// A contiguous mask of `n` ways starting at way `start`.
+    pub fn range(start: u32, n: u32) -> WayMask {
+        WayMask(WayMask::all(n).0 << start)
+    }
+
+    /// Number of ways in the mask.
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether way `w` is in the mask.
+    pub fn contains(self, w: u32) -> bool {
+        w < 64 && (self.0 >> w) & 1 == 1
+    }
+
+    /// Whether two masks share any way.
+    pub fn intersects(self, other: WayMask) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// True if no ways are allowed.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Configuration of one [`CacheBank`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankConfig {
+    /// Number of sets.
+    pub sets: usize,
+    /// Number of ways (≤ 64).
+    pub ways: u32,
+    /// Replacement policy.
+    pub policy: ReplPolicy,
+}
+
+/// Result of one access to a [`CacheBank`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the line was resident.
+    pub hit: bool,
+    /// A line evicted to make room for the fill, if any.
+    pub evicted: Option<(LineAddr, PartitionId)>,
+    /// Whether the evicted line was dirty and must be written back to
+    /// memory.
+    pub writeback: bool,
+}
+
+/// Aggregate and per-partition access statistics.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BankStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Total hits.
+    pub hits: u64,
+    /// Per-partition `(accesses, hits)`.
+    pub per_partition: Vec<(u64, u64)>,
+}
+
+impl BankStats {
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+
+    /// Miss ratio over all partitions (0 when no accesses).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses as f64
+        }
+    }
+
+    /// Miss ratio of one partition (0 when it made no accesses).
+    pub fn partition_miss_ratio(&self, part: PartitionId) -> f64 {
+        match self.per_partition.get(part.0) {
+            Some(&(acc, hits)) if acc > 0 => (acc - hits) as f64 / acc as f64,
+            _ => 0.0,
+        }
+    }
+
+    fn record(&mut self, part: PartitionId, hit: bool) {
+        self.accesses += 1;
+        if self.per_partition.len() <= part.0 {
+            self.per_partition.resize(part.0 + 1, (0, 0));
+        }
+        let entry = &mut self.per_partition[part.0];
+        entry.0 += 1;
+        if hit {
+            self.hits += 1;
+            entry.1 += 1;
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: LineAddr,
+    part: PartitionId,
+    repl: ReplState,
+    dirty: bool,
+}
+
+/// A set-associative cache bank with way-partitioning and (for DRRIP) a
+/// bank-wide shared set-dueling PSEL counter.
+///
+/// See the crate-level docs for the security-relevant sharing this
+/// structure models.
+#[derive(Debug, Clone)]
+pub struct CacheBank {
+    cfg: BankConfig,
+    sets: Vec<Vec<Option<Line>>>,
+    masks: Vec<WayMask>,
+    /// 10-bit saturating policy selector shared across the whole bank.
+    /// High values mean SRRIP is missing more, so followers use BRRIP.
+    psel: u32,
+    brrip_ctr: u32,
+    stamp: u64,
+    stats: BankStats,
+}
+
+const PSEL_MAX: u32 = 1023;
+const PSEL_INIT: u32 = 512;
+/// Leader-set stride for set-dueling (one SRRIP and one BRRIP leader per 32
+/// sets).
+const DUEL_STRIDE: usize = 32;
+
+impl CacheBank {
+    /// Creates an empty bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets == 0`, `ways == 0`, or `ways > 64`.
+    pub fn new(cfg: BankConfig) -> CacheBank {
+        assert!(cfg.sets > 0, "bank needs at least one set");
+        assert!(cfg.ways > 0 && cfg.ways <= 64, "ways must be in 1..=64");
+        CacheBank {
+            cfg,
+            sets: vec![vec![None; cfg.ways as usize]; cfg.sets],
+            masks: Vec::new(),
+            psel: PSEL_INIT,
+            brrip_ctr: 0,
+            stamp: 0,
+            stats: BankStats::default(),
+        }
+    }
+
+    /// This bank's configuration.
+    pub fn config(&self) -> BankConfig {
+        self.cfg
+    }
+
+    /// Access statistics so far.
+    pub fn stats(&self) -> &BankStats {
+        &self.stats
+    }
+
+    /// Resets statistics without touching cache contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = BankStats::default();
+    }
+
+    /// Sets the way mask for `part`. Partitions without an explicit mask may
+    /// insert into any way.
+    pub fn set_mask(&mut self, part: PartitionId, mask: WayMask) {
+        if self.masks.len() <= part.0 {
+            self.masks.resize(part.0 + 1, WayMask::all(self.cfg.ways));
+        }
+        self.masks[part.0] = mask;
+    }
+
+    /// The way mask in effect for `part`.
+    pub fn mask(&self, part: PartitionId) -> WayMask {
+        self.masks
+            .get(part.0)
+            .copied()
+            .unwrap_or_else(|| WayMask::all(self.cfg.ways))
+    }
+
+    /// Current value of the shared DRRIP policy selector.
+    ///
+    /// Exposed so the performance-leakage experiment (paper Fig. 12) can
+    /// observe how co-runners drag the shared policy around.
+    pub fn psel(&self) -> u32 {
+        self.psel
+    }
+
+    /// The insertion flavour follower sets currently resolve to (only
+    /// meaningful under [`ReplPolicy::Drrip`]).
+    pub fn follower_flavor(&self) -> ReplPolicy {
+        if self.psel > PSEL_INIT {
+            ReplPolicy::Brrip
+        } else {
+            ReplPolicy::Srrip
+        }
+    }
+
+    /// Set index for a line address.
+    #[inline]
+    pub fn set_of(&self, line: LineAddr) -> usize {
+        (line % self.cfg.sets as u64) as usize
+    }
+
+    /// Whether `line` is currently resident.
+    pub fn resident(&self, line: LineAddr) -> bool {
+        let set = &self.sets[self.set_of(line)];
+        set.iter().flatten().any(|l| l.tag == line)
+    }
+
+    /// Invalidates `line` if resident; returns whether it was present.
+    pub fn invalidate(&mut self, line: LineAddr) -> bool {
+        let si = self.set_of(line);
+        for slot in &mut self.sets[si] {
+            if slot.map(|l| l.tag == line).unwrap_or(false) {
+                *slot = None;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Invalidates every line owned by `part`; returns how many were
+    /// dropped. Used when flushing a partition on VM context switch
+    /// (Sec. IV-B).
+    pub fn flush_partition(&mut self, part: PartitionId) -> u64 {
+        let mut dropped = 0;
+        for set in &mut self.sets {
+            for slot in set.iter_mut() {
+                if slot.map(|l| l.part == part).unwrap_or(false) {
+                    *slot = None;
+                    dropped += 1;
+                }
+            }
+        }
+        dropped
+    }
+
+    /// Number of resident lines owned by `part`.
+    pub fn occupancy(&self, part: PartitionId) -> u64 {
+        self.sets
+            .iter()
+            .flatten()
+            .flatten()
+            .filter(|l| l.part == part)
+            .count() as u64
+    }
+
+    /// Performs one read access on behalf of `part`, filling on a miss.
+    ///
+    /// Shorthand for [`CacheBank::access_rw`] with `is_write == false`.
+    pub fn access(&mut self, line: LineAddr, part: PartitionId) -> AccessOutcome {
+        self.access_rw(line, part, false)
+    }
+
+    /// Performs one access on behalf of `part`, filling on a miss. Writes
+    /// mark the line dirty; evicting a dirty line reports a write-back.
+    ///
+    /// On a miss the victim is chosen only among ways in `part`'s
+    /// [`WayMask`]; if the mask is empty the access bypasses the cache (miss
+    /// without fill).
+    pub fn access_rw(
+        &mut self,
+        line: LineAddr,
+        part: PartitionId,
+        is_write: bool,
+    ) -> AccessOutcome {
+        self.stamp += 1;
+        let si = self.set_of(line);
+
+        // Hit path: hits are allowed anywhere in the set (CAT restricts
+        // insertion, not lookup).
+        if let Some(w) = self.find_way(si, line) {
+            self.promote(si, w);
+            if is_write {
+                if let Some(l) = &mut self.sets[si][w] {
+                    l.dirty = true;
+                }
+            }
+            self.stats.record(part, true);
+            return AccessOutcome {
+                hit: true,
+                evicted: None,
+                writeback: false,
+            };
+        }
+
+        // Miss path.
+        self.stats.record(part, false);
+        self.duel_on_miss(si);
+        let mask = self.mask(part);
+        if mask.is_empty() {
+            return AccessOutcome {
+                hit: false,
+                evicted: None,
+                writeback: false,
+            };
+        }
+        let victim_way = self.pick_victim(si, mask);
+        let victim = self.sets[si][victim_way];
+        let evicted = victim.map(|l| (l.tag, l.part));
+        let writeback = victim.map(|l| l.dirty).unwrap_or(false);
+        let repl = self.insertion_state(si);
+        self.sets[si][victim_way] = Some(Line {
+            tag: line,
+            part,
+            repl,
+            dirty: is_write,
+        });
+        AccessOutcome {
+            hit: false,
+            evicted,
+            writeback,
+        }
+    }
+
+    fn find_way(&self, si: usize, line: LineAddr) -> Option<usize> {
+        self.sets[si]
+            .iter()
+            .position(|slot| slot.map(|l| l.tag == line).unwrap_or(false))
+    }
+
+    fn promote(&mut self, si: usize, way: usize) {
+        let stamp = self.stamp;
+        if let Some(line) = &mut self.sets[si][way] {
+            line.repl = match self.cfg.policy {
+                ReplPolicy::Lru => ReplState::Lru { stamp },
+                _ => ReplState::Rrip { rrpv: 0 },
+            };
+        }
+    }
+
+    /// Role of a set in DRRIP set-dueling.
+    fn duel_role(&self, si: usize) -> Option<InsertFlavor> {
+        if self.cfg.policy != ReplPolicy::Drrip {
+            return None;
+        }
+        match si % DUEL_STRIDE {
+            0 => Some(InsertFlavor::Srrip),
+            16 => Some(InsertFlavor::Brrip),
+            _ => None,
+        }
+    }
+
+    fn duel_on_miss(&mut self, si: usize) {
+        match self.duel_role(si) {
+            Some(InsertFlavor::Srrip) => self.psel = (self.psel + 1).min(PSEL_MAX),
+            Some(InsertFlavor::Brrip) => self.psel = self.psel.saturating_sub(1),
+            None => {}
+        }
+    }
+
+    fn insertion_flavor(&mut self, si: usize) -> InsertFlavor {
+        match self.cfg.policy {
+            ReplPolicy::Lru | ReplPolicy::Nru => InsertFlavor::Srrip, // unused / fixed
+            ReplPolicy::Srrip => InsertFlavor::Srrip,
+            ReplPolicy::Brrip => InsertFlavor::Brrip,
+            ReplPolicy::Drrip => match self.duel_role(si) {
+                Some(f) => f,
+                None => {
+                    if self.psel > PSEL_INIT {
+                        InsertFlavor::Brrip
+                    } else {
+                        InsertFlavor::Srrip
+                    }
+                }
+            },
+        }
+    }
+
+    fn insertion_state(&mut self, si: usize) -> ReplState {
+        match self.cfg.policy {
+            ReplPolicy::Lru => ReplState::Lru { stamp: self.stamp },
+            // NRU inserts recently-used (ref bit clear).
+            ReplPolicy::Nru => ReplState::Rrip { rrpv: 0 },
+            _ => {
+                let rrpv = match self.insertion_flavor(si) {
+                    InsertFlavor::Srrip => RRPV_MAX - 1,
+                    InsertFlavor::Brrip => {
+                        self.brrip_ctr = (self.brrip_ctr + 1) % BRRIP_LONG_INTERVAL;
+                        if self.brrip_ctr == 0 {
+                            RRPV_MAX - 1
+                        } else {
+                            RRPV_MAX
+                        }
+                    }
+                };
+                ReplState::Rrip { rrpv }
+            }
+        }
+    }
+
+    /// Picks a victim way within `mask`, preferring invalid ways.
+    fn pick_victim(&mut self, si: usize, mask: WayMask) -> usize {
+        debug_assert!(!mask.is_empty());
+        // Invalid way first.
+        for w in 0..self.cfg.ways {
+            if mask.contains(w) && self.sets[si][w as usize].is_none() {
+                return w as usize;
+            }
+        }
+        match self.cfg.policy {
+            ReplPolicy::Lru => {
+                let mut best = None;
+                let mut best_stamp = u64::MAX;
+                for w in 0..self.cfg.ways {
+                    if !mask.contains(w) {
+                        continue;
+                    }
+                    if let Some(Line {
+                        repl: ReplState::Lru { stamp },
+                        ..
+                    }) = self.sets[si][w as usize]
+                    {
+                        if stamp < best_stamp {
+                            best_stamp = stamp;
+                            best = Some(w as usize);
+                        }
+                    }
+                }
+                best.expect("mask has at least one valid LRU line")
+            }
+            _ => loop {
+                // Find a way at the policy's max RRPV within the mask;
+                // otherwise age the masked ways and retry. Aging is
+                // restricted to the mask so partitions cannot perturb each
+                // other's RRPVs (content isolation); the *policy choice*
+                // still leaks via PSEL.
+                let max = self.cfg.policy.rrpv_max();
+                for w in 0..self.cfg.ways {
+                    if !mask.contains(w) {
+                        continue;
+                    }
+                    if let Some(Line {
+                        repl: ReplState::Rrip { rrpv },
+                        ..
+                    }) = self.sets[si][w as usize]
+                    {
+                        if rrpv >= max {
+                            return w as usize;
+                        }
+                    }
+                }
+                for w in 0..self.cfg.ways {
+                    if !mask.contains(w) {
+                        continue;
+                    }
+                    if let Some(Line {
+                        repl: ReplState::Rrip { rrpv },
+                        ..
+                    }) = &mut self.sets[si][w as usize]
+                    {
+                        *rrpv += 1;
+                    }
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank(sets: usize, ways: u32, policy: ReplPolicy) -> CacheBank {
+        CacheBank::new(BankConfig { sets, ways, policy })
+    }
+
+    /// Addresses that all map to set 0 of a `sets`-set bank.
+    fn same_set_lines(sets: usize, n: usize) -> Vec<LineAddr> {
+        (1..=n as u64).map(|i| i * sets as u64).collect()
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut b = bank(16, 2, ReplPolicy::Lru);
+        let lines = same_set_lines(16, 3);
+        b.access(lines[0], PartitionId(0));
+        b.access(lines[1], PartitionId(0));
+        // Touch line 0 so line 1 is LRU.
+        assert!(b.access(lines[0], PartitionId(0)).hit);
+        let out = b.access(lines[2], PartitionId(0));
+        assert!(!out.hit);
+        assert_eq!(out.evicted.unwrap().0, lines[1]);
+        assert!(b.resident(lines[0]));
+        assert!(!b.resident(lines[1]));
+    }
+
+    #[test]
+    fn lru_exact_reuse_within_capacity() {
+        let mut b = bank(16, 4, ReplPolicy::Lru);
+        let lines = same_set_lines(16, 4);
+        for &l in &lines {
+            assert!(!b.access(l, PartitionId(0)).hit);
+        }
+        for &l in &lines {
+            assert!(b.access(l, PartitionId(0)).hit, "working set fits");
+        }
+        assert_eq!(b.stats().hits, 4);
+        assert_eq!(b.stats().misses(), 4);
+    }
+
+    #[test]
+    fn way_partitioning_isolates_insertions() {
+        let mut b = bank(16, 4, ReplPolicy::Lru);
+        let victim = PartitionId(0);
+        let attacker = PartitionId(1);
+        b.set_mask(victim, WayMask::range(0, 2));
+        b.set_mask(attacker, WayMask::range(2, 2));
+
+        let lines = same_set_lines(16, 8);
+        // Victim fills its two ways.
+        b.access(lines[0], victim);
+        b.access(lines[1], victim);
+        // Attacker thrashes the same set with many lines.
+        for &l in &lines[2..8] {
+            b.access(l, attacker);
+        }
+        // Victim's lines must survive: the attacker cannot evict them.
+        assert!(b.resident(lines[0]));
+        assert!(b.resident(lines[1]));
+    }
+
+    #[test]
+    fn unpartitioned_sharing_allows_conflict_evictions() {
+        let mut b = bank(16, 4, ReplPolicy::Lru);
+        let victim = PartitionId(0);
+        let attacker = PartitionId(1);
+        let lines = same_set_lines(16, 8);
+        b.access(lines[0], victim);
+        for &l in &lines[2..8] {
+            b.access(l, attacker);
+        }
+        // Without partitioning the attacker primed the set and evicted the
+        // victim — this is the conflict attack surface.
+        assert!(!b.resident(lines[0]));
+    }
+
+    #[test]
+    fn empty_mask_bypasses() {
+        let mut b = bank(16, 4, ReplPolicy::Lru);
+        b.set_mask(PartitionId(0), WayMask(0));
+        let out = b.access(64, PartitionId(0));
+        assert!(!out.hit);
+        assert!(out.evicted.is_none());
+        assert!(!b.resident(64));
+    }
+
+    #[test]
+    fn srrip_hit_promotion_protects_reused_lines() {
+        let mut b = bank(16, 2, ReplPolicy::Srrip);
+        let lines = same_set_lines(16, 3);
+        b.access(lines[0], PartitionId(0));
+        b.access(lines[1], PartitionId(0));
+        // Promote line 0 to RRPV 0.
+        assert!(b.access(lines[0], PartitionId(0)).hit);
+        // The new line should displace the non-promoted one.
+        let out = b.access(lines[2], PartitionId(0));
+        assert_eq!(out.evicted.unwrap().0, lines[1]);
+    }
+
+    #[test]
+    fn brrip_mostly_inserts_distant() {
+        let mut b = bank(64, 4, ReplPolicy::Brrip);
+        // Stream many lines through one set; BRRIP keeps thrashing traffic
+        // at distant RRPV, so a resident reused line survives a long scan.
+        let keep = 64u64; // set 0
+        b.access(keep, PartitionId(0));
+        assert!(b.access(keep, PartitionId(0)).hit); // promote to RRPV 0
+        for i in 2..40u64 {
+            b.access(i * 64, PartitionId(0));
+            b.access(keep, PartitionId(0)); // keep re-referencing
+        }
+        assert!(b.resident(keep), "BRRIP is scan-resistant");
+    }
+
+    #[test]
+    fn drrip_leader_sets_move_psel() {
+        let mut b = bank(64, 2, ReplPolicy::Drrip);
+        let init = b.psel();
+        // Misses in set 0 (SRRIP leader) increment PSEL.
+        for i in 1..20u64 {
+            b.access(i * 64, PartitionId(0));
+        }
+        assert!(b.psel() > init);
+        // Misses in set 16 (BRRIP leader) decrement PSEL.
+        let before = b.psel();
+        for i in 1..40u64 {
+            b.access(i * 64 + 16, PartitionId(0));
+        }
+        assert!(b.psel() < before);
+    }
+
+    #[test]
+    fn drrip_psel_is_shared_across_partitions() {
+        // The performance-leakage channel: partition 1's misses in leader
+        // sets change the policy partition 0's follower sets use.
+        let mut b = bank(64, 2, ReplPolicy::Drrip);
+        b.set_mask(PartitionId(0), WayMask::range(0, 1));
+        b.set_mask(PartitionId(1), WayMask::range(1, 1));
+        assert_eq!(b.follower_flavor(), ReplPolicy::Srrip);
+        // Partition 1 hammers the SRRIP leader set with misses.
+        for i in 1..2000u64 {
+            b.access(i * 64, PartitionId(1));
+        }
+        assert_eq!(
+            b.follower_flavor(),
+            ReplPolicy::Brrip,
+            "a co-runner flipped the shared policy despite disjoint masks"
+        );
+    }
+
+    #[test]
+    fn nru_behaves_like_coarse_lru() {
+        let mut b = bank(16, 2, ReplPolicy::Nru);
+        let lines = same_set_lines(16, 3);
+        b.access(lines[0], PartitionId(0));
+        b.access(lines[1], PartitionId(0));
+        // Touch line 0 so it is recently-used; line 1 ages on the victim
+        // scan and gets evicted.
+        assert!(b.access(lines[0], PartitionId(0)).hit);
+        b.access(lines[2], PartitionId(0));
+        assert!(b.resident(lines[0]) || b.resident(lines[2]));
+        // NRU keeps reused data across small working sets exactly.
+        let mut b2 = bank(16, 4, ReplPolicy::Nru);
+        for _ in 0..3 {
+            for &l in &same_set_lines(16, 4) {
+                b2.access(l, PartitionId(0));
+            }
+        }
+        assert_eq!(b2.stats().misses(), 4, "only cold misses");
+    }
+
+    #[test]
+    fn nru_has_no_set_dueling_state() {
+        let mut b = bank(64, 2, ReplPolicy::Nru);
+        let before = b.psel();
+        for i in 1..200u64 {
+            b.access(i * 64, PartitionId(0)); // leader-set misses
+        }
+        assert_eq!(b.psel(), before, "NRU never touches PSEL");
+    }
+
+    #[test]
+    fn flush_partition_drops_only_that_partition() {
+        let mut b = bank(16, 4, ReplPolicy::Lru);
+        b.access(16, PartitionId(0));
+        b.access(32, PartitionId(1));
+        assert_eq!(b.occupancy(PartitionId(0)), 1);
+        let dropped = b.flush_partition(PartitionId(0));
+        assert_eq!(dropped, 1);
+        assert!(!b.resident(16));
+        assert!(b.resident(32));
+    }
+
+    #[test]
+    fn invalidate_single_line() {
+        let mut b = bank(16, 4, ReplPolicy::Lru);
+        b.access(16, PartitionId(0));
+        assert!(b.invalidate(16));
+        assert!(!b.invalidate(16));
+        assert!(!b.resident(16));
+    }
+
+    #[test]
+    fn stats_track_partitions_separately() {
+        let mut b = bank(16, 4, ReplPolicy::Lru);
+        b.access(16, PartitionId(0));
+        b.access(16, PartitionId(0));
+        b.access(32, PartitionId(1));
+        let s = b.stats();
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.hits, 1);
+        assert!((s.partition_miss_ratio(PartitionId(0)) - 0.5).abs() < 1e-12);
+        assert_eq!(s.partition_miss_ratio(PartitionId(1)), 1.0);
+        assert_eq!(s.partition_miss_ratio(PartitionId(9)), 0.0);
+    }
+
+    #[test]
+    fn writebacks_follow_dirty_evictions() {
+        let mut b = bank(16, 1, ReplPolicy::Lru);
+        let lines = same_set_lines(16, 3);
+        // Write line 0 (dirty), then displace it: write-back.
+        b.access_rw(lines[0], PartitionId(0), true);
+        let out = b.access(lines[1], PartitionId(0));
+        assert!(out.writeback, "dirty victim must be written back");
+        // Clean line displaced: no write-back.
+        let out2 = b.access(lines[2], PartitionId(0));
+        assert!(!out2.writeback);
+        // A write HIT dirties an existing clean line.
+        let mut b2 = bank(16, 2, ReplPolicy::Lru);
+        b2.access(lines[0], PartitionId(0)); // clean fill
+        b2.access_rw(lines[0], PartitionId(0), true); // dirty it
+        b2.access(lines[1], PartitionId(0));
+        let out3 = b2.access(lines[2], PartitionId(0)); // evicts line 0 (LRU)
+        assert!(out3.writeback);
+    }
+
+    #[test]
+    fn way_mask_helpers() {
+        assert_eq!(WayMask::all(64).count(), 64);
+        assert_eq!(WayMask::range(2, 2).0, 0b1100);
+        assert!(!WayMask::range(0, 2).intersects(WayMask::range(2, 2)));
+        assert!(WayMask(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ways must be in 1..=64")]
+    fn too_many_ways_panics() {
+        bank(16, 65, ReplPolicy::Lru);
+    }
+}

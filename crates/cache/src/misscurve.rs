@@ -1,0 +1,391 @@
+//! Miss curves: misses as a function of allocated cache capacity.
+//!
+//! Miss curves are the currency of every capacity-allocation algorithm in
+//! the paper: UCP Lookahead, Jigsaw, and `JumanjiLookahead` all consume
+//! them, and the hardware UMONs produce them. A curve stores one value per
+//! *allocation unit* (one way of one bank, 32 KB in the paper's
+//! configuration).
+//!
+//! Two transformations matter for fidelity to the paper:
+//!
+//! - [`MissCurve::convex_hull`] — the paper approximates DRRIP's miss curve
+//!   by the convex hull of LRU's curve (Talus \[7\], Sec. IV-A).
+//! - [`MissCurve::combine_convex`] — the Whirlpool-style model (\[61\],
+//!   App. B) for a VM's combined curve: the best achievable misses when a
+//!   total budget is split optimally among member applications.
+
+use core::fmt;
+
+/// Misses (in any consistent unit: ratio, MPKI, or absolute per epoch) as a
+/// non-increasing function of allocated capacity.
+///
+/// Point `i` is the miss value at `i * unit_bytes` of capacity. Evaluation
+/// between points interpolates linearly; beyond the last point the curve is
+/// flat.
+///
+/// # Examples
+///
+/// ```
+/// use nuca_cache::MissCurve;
+/// // 100 misses with no cache, 40 with one unit, 10 with two.
+/// let c = MissCurve::new(1024, vec![100.0, 40.0, 10.0]);
+/// assert_eq!(c.eval_units(1.0), 40.0);
+/// assert_eq!(c.eval_bytes(512), 70.0); // halfway between points 0 and 1
+/// assert_eq!(c.eval_bytes(1 << 20), 10.0); // flat beyond the end
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissCurve {
+    unit_bytes: u64,
+    misses: Vec<f64>,
+}
+
+impl MissCurve {
+    /// Creates a curve from raw points, enforcing monotonicity by taking the
+    /// running minimum (a real cache never misses more with more space under
+    /// the policies we model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty, contains a negative or non-finite value,
+    /// or if `unit_bytes == 0`.
+    pub fn new(unit_bytes: u64, points: Vec<f64>) -> MissCurve {
+        assert!(unit_bytes > 0, "unit_bytes must be nonzero");
+        assert!(!points.is_empty(), "a miss curve needs at least one point");
+        let mut misses = points;
+        let mut running = f64::INFINITY;
+        for p in &mut misses {
+            assert!(
+                p.is_finite() && *p >= 0.0,
+                "miss values must be finite and non-negative"
+            );
+            running = running.min(*p);
+            *p = running;
+        }
+        MissCurve { unit_bytes, misses }
+    }
+
+    /// A flat curve: the same miss value at every allocation (an app that
+    /// gets no benefit from this cache level).
+    pub fn flat(unit_bytes: u64, units: usize, value: f64) -> MissCurve {
+        MissCurve::new(unit_bytes, vec![value; units + 1])
+    }
+
+    /// Capacity granularity of the points, in bytes.
+    pub fn unit_bytes(&self) -> u64 {
+        self.unit_bytes
+    }
+
+    /// Number of points (allocations `0..=max_units`).
+    pub fn len(&self) -> usize {
+        self.misses.len()
+    }
+
+    /// True if the curve has a single point (capacity 0 only).
+    pub fn is_empty(&self) -> bool {
+        self.misses.len() <= 1
+    }
+
+    /// Largest allocation, in units, described by the curve.
+    pub fn max_units(&self) -> usize {
+        self.misses.len() - 1
+    }
+
+    /// The raw points.
+    pub fn points(&self) -> &[f64] {
+        &self.misses
+    }
+
+    /// Miss value at an integral allocation of `units` (clamped to the
+    /// curve's domain).
+    pub fn at(&self, units: usize) -> f64 {
+        let i = units.min(self.max_units());
+        self.misses[i]
+    }
+
+    /// Miss value at a fractional allocation of `units`, interpolating
+    /// linearly and clamping to the domain.
+    pub fn eval_units(&self, units: f64) -> f64 {
+        if units <= 0.0 {
+            return self.misses[0];
+        }
+        let max = self.max_units() as f64;
+        if units >= max {
+            return *self.misses.last().expect("curve is non-empty");
+        }
+        let lo = units.floor() as usize;
+        let frac = units - lo as f64;
+        self.misses[lo] * (1.0 - frac) + self.misses[lo + 1] * frac
+    }
+
+    /// Miss value at a byte-granular allocation.
+    pub fn eval_bytes(&self, bytes: u64) -> f64 {
+        self.eval_units(bytes as f64 / self.unit_bytes as f64)
+    }
+
+    /// Multiplies every point by `factor` (e.g., converting a miss ratio to
+    /// absolute misses for an epoch's access count).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> MissCurve {
+        assert!(factor.is_finite() && factor >= 0.0);
+        MissCurve {
+            unit_bytes: self.unit_bytes,
+            misses: self.misses.iter().map(|m| m * factor).collect(),
+        }
+    }
+
+    /// The lower convex hull of the curve.
+    ///
+    /// The paper approximates DRRIP's miss curve by the convex hull of the
+    /// LRU curve, which Talus \[7\] shows is achievable and which can be
+    /// measured much more cheaply than DRRIP itself (Sec. IV-A).
+    #[must_use]
+    pub fn convex_hull(&self) -> MissCurve {
+        let n = self.misses.len();
+        if n <= 2 {
+            return self.clone();
+        }
+        // Monotone-chain lower hull over (index, miss) points.
+        let mut hull: Vec<usize> = Vec::with_capacity(n);
+        for i in 0..n {
+            while hull.len() >= 2 {
+                let a = hull[hull.len() - 2];
+                let b = hull[hull.len() - 1];
+                // Remove b if it lies on or above segment a->i.
+                let cross = (b as f64 - a as f64) * (self.misses[i] - self.misses[a])
+                    - (i as f64 - a as f64) * (self.misses[b] - self.misses[a]);
+                if cross <= 0.0 {
+                    hull.pop();
+                } else {
+                    break;
+                }
+            }
+            hull.push(i);
+        }
+        // Re-sample the hull at every integer point.
+        let mut out = Vec::with_capacity(n);
+        let mut seg = 0;
+        for i in 0..n {
+            while seg + 1 < hull.len() && hull[seg + 1] < i {
+                seg += 1;
+            }
+            if hull[seg] == i {
+                out.push(self.misses[i]);
+            } else {
+                let a = hull[seg];
+                let b = hull[seg + 1];
+                let t = (i - a) as f64 / (b - a) as f64;
+                out.push(self.misses[a] * (1.0 - t) + self.misses[b] * t);
+            }
+        }
+        MissCurve {
+            unit_bytes: self.unit_bytes,
+            misses: out,
+        }
+    }
+
+    /// Whether the curve is convex (marginal utility non-increasing), within
+    /// floating-point tolerance.
+    pub fn is_convex(&self) -> bool {
+        self.misses.windows(3).all(|w| {
+            let d1 = w[0] - w[1];
+            let d2 = w[1] - w[2];
+            d1 + 1e-9 >= d2
+        })
+    }
+
+    /// Optimally combines several *convex* curves into the curve of the
+    /// group: point `i` is the minimum total misses achievable by splitting
+    /// `i` units among the members.
+    ///
+    /// This is the model the paper uses (via Whirlpool \[61, App. B\]) to
+    /// compute a combined miss curve per VM for `JumanjiLookahead`. For
+    /// convex curves the greedy steepest-marginal-gain split is exactly
+    /// optimal. Non-convex inputs are replaced by their convex hulls first.
+    ///
+    /// Returns the combined curve and, for each total size, the per-member
+    /// split `splits[total][member]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `curves` is empty or units disagree.
+    pub fn combine_convex(curves: &[MissCurve]) -> (MissCurve, Vec<Vec<usize>>) {
+        assert!(!curves.is_empty(), "need at least one curve to combine");
+        let unit = curves[0].unit_bytes;
+        assert!(
+            curves.iter().all(|c| c.unit_bytes == unit),
+            "all curves must share unit_bytes"
+        );
+        let hulls: Vec<MissCurve> = curves.iter().map(|c| c.convex_hull()).collect();
+        let total_units: usize = hulls.iter().map(|c| c.max_units()).sum();
+        let mut alloc = vec![0usize; hulls.len()];
+        let mut combined = Vec::with_capacity(total_units + 1);
+        let mut splits = Vec::with_capacity(total_units + 1);
+        let mut current: f64 = hulls.iter().map(|c| c.at(0)).sum();
+        combined.push(current);
+        splits.push(alloc.clone());
+        for _ in 0..total_units {
+            // Give the next unit to the member with the steepest drop.
+            let mut best = None;
+            let mut best_gain = -1.0;
+            for (k, h) in hulls.iter().enumerate() {
+                if alloc[k] >= h.max_units() {
+                    continue;
+                }
+                let gain = h.at(alloc[k]) - h.at(alloc[k] + 1);
+                if gain > best_gain {
+                    best_gain = gain;
+                    best = Some(k);
+                }
+            }
+            let k = best.expect("some member still has headroom");
+            alloc[k] += 1;
+            current -= best_gain;
+            combined.push(current);
+            splits.push(alloc.clone());
+        }
+        (MissCurve::new(unit, combined), splits)
+    }
+}
+
+impl fmt::Display for MissCurve {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MissCurve[{} pts, unit {} B, {:.3}..{:.3}]",
+            self.misses.len(),
+            self.unit_bytes,
+            self.misses.first().copied().unwrap_or(0.0),
+            self.misses.last().copied().unwrap_or(0.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_normalization() {
+        let c = MissCurve::new(1, vec![5.0, 7.0, 3.0, 4.0]);
+        assert_eq!(c.points(), &[5.0, 5.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn evaluation_interpolates_and_clamps() {
+        let c = MissCurve::new(10, vec![100.0, 50.0, 20.0]);
+        assert_eq!(c.eval_units(-1.0), 100.0);
+        assert_eq!(c.eval_units(0.5), 75.0);
+        assert_eq!(c.eval_units(5.0), 20.0);
+        assert_eq!(c.eval_bytes(15), 35.0);
+        assert_eq!(c.at(1), 50.0);
+        assert_eq!(c.at(99), 20.0);
+    }
+
+    #[test]
+    fn flat_curve() {
+        let c = MissCurve::flat(1, 4, 3.0);
+        assert_eq!(c.len(), 5);
+        assert!(c.points().iter().all(|&p| p == 3.0));
+        assert!(c.is_convex());
+    }
+
+    #[test]
+    fn scaling() {
+        let c = MissCurve::new(1, vec![4.0, 2.0]).scaled(2.5);
+        assert_eq!(c.points(), &[10.0, 5.0]);
+    }
+
+    #[test]
+    fn convex_hull_of_cliff_curve() {
+        // A "cliff" curve: no benefit until the working set fits, then a
+        // sharp drop. Its hull is the straight line to the cliff.
+        let c = MissCurve::new(1, vec![100.0, 100.0, 100.0, 100.0, 0.0]);
+        let h = c.convex_hull();
+        assert_eq!(h.points(), &[100.0, 75.0, 50.0, 25.0, 0.0]);
+        assert!(h.is_convex());
+    }
+
+    #[test]
+    fn convex_hull_is_below_and_ends_match() {
+        let c = MissCurve::new(1, vec![10.0, 9.5, 4.0, 3.9, 1.0, 0.9]);
+        let h = c.convex_hull();
+        assert_eq!(h.points()[0], c.points()[0]);
+        assert_eq!(h.points().last(), c.points().last());
+        for i in 0..c.len() {
+            assert!(h.points()[i] <= c.points()[i] + 1e-12);
+        }
+        assert!(h.is_convex());
+    }
+
+    #[test]
+    fn hull_of_convex_curve_is_identity() {
+        let c = MissCurve::new(1, vec![8.0, 4.0, 2.0, 1.0, 0.5]);
+        assert_eq!(c.convex_hull(), c);
+    }
+
+    #[test]
+    fn combine_two_identical_curves() {
+        let c = MissCurve::new(1, vec![10.0, 4.0, 1.0]);
+        let (comb, splits) = MissCurve::combine_convex(&[c.clone(), c]);
+        // Optimal split alternates between the two members.
+        assert_eq!(comb.points(), &[20.0, 14.0, 8.0, 5.0, 2.0]);
+        assert_eq!(splits[2], vec![1, 1]);
+        assert_eq!(splits[4], vec![2, 2]);
+    }
+
+    #[test]
+    fn combine_prefers_steeper_curve() {
+        let steep = MissCurve::new(1, vec![100.0, 10.0]);
+        let shallow = MissCurve::new(1, vec![10.0, 9.0]);
+        let (comb, splits) = MissCurve::combine_convex(&[steep, shallow]);
+        // First unit goes to the steep member.
+        assert_eq!(splits[1], vec![1, 0]);
+        assert_eq!(comb.at(1), 20.0);
+        assert_eq!(comb.at(2), 19.0);
+    }
+
+    #[test]
+    fn combine_matches_brute_force() {
+        let a = MissCurve::new(1, vec![50.0, 20.0, 15.0, 14.0]);
+        let b = MissCurve::new(1, vec![30.0, 10.0, 5.0, 4.0]);
+        let (comb, _) = MissCurve::combine_convex(&[a.clone(), b.clone()]);
+        let (ha, hb) = (a.convex_hull(), b.convex_hull());
+        for total in 0..=6usize {
+            let mut best = f64::INFINITY;
+            for x in 0..=total.min(3) {
+                let y = total - x;
+                if y > 3 {
+                    continue;
+                }
+                best = best.min(ha.at(x) + hb.at(y));
+            }
+            assert!(
+                (comb.at(total) - best).abs() < 1e-9,
+                "total {total}: greedy {} vs brute {best}",
+                comb.at(total)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_points_panic() {
+        MissCurve::new(1, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share unit_bytes")]
+    fn combine_mismatched_units_panics() {
+        let a = MissCurve::new(1, vec![1.0]);
+        let b = MissCurve::new(2, vec![1.0]);
+        MissCurve::combine_convex(&[a, b]);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let c = MissCurve::new(32 * 1024, vec![9.0, 1.0]);
+        let s = c.to_string();
+        assert!(s.contains("2 pts"));
+        assert!(s.contains("32768 B"));
+    }
+}

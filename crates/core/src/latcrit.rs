@@ -1,0 +1,174 @@
+//! `LatCritPlacer` (paper Listing 2): greedily reserves each
+//! latency-critical application's controller-assigned space in the banks
+//! closest to its core.
+//!
+//! The greedy placement is deliberately simple — the paper found a
+//! trade-based refinement "was rarely a net win" (Sec. V-D, Sec. VIII-C) —
+//! but it guarantees the space is reserved *before* batch placement runs,
+//! so deadlines do not depend on batch behaviour.
+
+use crate::model::{AppKind, PlacementInput};
+use nuca_types::{AppId, BankId, VmId};
+
+/// A latency-critical reservation: bytes per bank, nearest-first.
+pub type LcPlacement = Vec<(AppId, Vec<(BankId, f64)>)>;
+
+/// Places every latency-critical application's `lc_size` in the nearest
+/// banks with remaining balance, decrementing `bank_balance` in place.
+///
+/// When `claims` is provided (Jumanji), a bank already claimed by another
+/// VM is skipped, and every bank touched is claimed for the app's VM —
+/// this preserves bank isolation even between latency-critical
+/// applications of different VMs. Without `claims` (the Insecure variant
+/// and Fig. 8-style studies), any bank with balance is fair game.
+///
+/// If the machine runs out of balance the reservation is truncated — the
+/// feedback controller will observe the consequences and panic if needed.
+///
+/// # Panics
+///
+/// Panics if `bank_balance` does not cover every bank of the mesh.
+pub fn lat_crit_placer(
+    input: &PlacementInput,
+    bank_balance: &mut [f64],
+    mut claims: Option<&mut Vec<Option<VmId>>>,
+) -> LcPlacement {
+    let mesh = input.cfg.mesh();
+    assert_eq!(
+        bank_balance.len(),
+        mesh.num_tiles(),
+        "one balance entry per bank"
+    );
+    let mut out = Vec::new();
+    for app in input
+        .apps
+        .iter()
+        .filter(|a| a.kind == AppKind::LatencyCritical)
+    {
+        let mut need = input.lc_size(app.id);
+        let mut placement = Vec::new();
+        for bank in mesh.banks_by_distance(app.core) {
+            if need <= 0.0 {
+                break;
+            }
+            if let Some(claims) = claims.as_deref() {
+                if matches!(claims[bank.index()], Some(vm) if vm != app.vm) {
+                    continue;
+                }
+            }
+            let take = bank_balance[bank.index()].min(need);
+            if take > 0.0 {
+                bank_balance[bank.index()] -= take;
+                need -= take;
+                placement.push((bank, take));
+                if let Some(claims) = claims.as_deref_mut() {
+                    claims[bank.index()] = Some(app.vm);
+                }
+            }
+        }
+        out.push((app.id, placement));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuca_types::SystemConfig;
+
+    const MB: f64 = 1024.0 * 1024.0;
+
+    fn input() -> PlacementInput {
+        PlacementInput::example(&SystemConfig::micro2020())
+    }
+
+    fn full_balance(input: &PlacementInput) -> Vec<f64> {
+        vec![input.cfg.llc.bank_bytes as f64; input.cfg.llc.num_banks]
+    }
+
+    #[test]
+    fn reserves_exactly_the_requested_size() {
+        let inp = input();
+        let mut balance = full_balance(&inp);
+        let placed = lat_crit_placer(&inp, &mut balance, None);
+        assert_eq!(placed.len(), 4);
+        for (app, placement) in &placed {
+            let total: f64 = placement.iter().map(|(_, b)| b).sum();
+            assert!((total - inp.lc_size(*app)).abs() < 1e-6);
+        }
+        let used: f64 = full_balance(&inp).iter().sum::<f64>() - balance.iter().sum::<f64>();
+        assert!((used - 8.0 * MB).abs() < 1e-6); // 4 apps x 2 MB
+    }
+
+    #[test]
+    fn places_in_nearest_banks_first() {
+        let inp = input();
+        let mut balance = full_balance(&inp);
+        let placed = lat_crit_placer(&inp, &mut balance, None);
+        // App 0 runs on core 0 (corner): 2 MB fits in the local bank plus
+        // one neighbour.
+        let (app, placement) = &placed[0];
+        assert_eq!(app.index(), 0);
+        assert_eq!(placement[0].0, BankId(0));
+        assert_eq!(placement[0].1, MB);
+        assert_eq!(placement[1].0, BankId(1));
+        assert_eq!(placement[1].1, MB);
+    }
+
+    #[test]
+    fn claims_prevent_cross_vm_bank_sharing() {
+        let mut inp = input();
+        // Make LC sizes big enough (5 MB each) that unclaimed placement
+        // would overlap quadrant boundaries.
+        for a in 0..inp.lc_sizes.len() {
+            if inp.apps[a].kind == AppKind::LatencyCritical {
+                inp.lc_sizes[a] = 5.0 * MB;
+            }
+        }
+        let mut balance = full_balance(&inp);
+        let mut claims = vec![None; inp.cfg.llc.num_banks];
+        let placed = lat_crit_placer(&inp, &mut balance, Some(&mut claims));
+        // Each touched bank is claimed by exactly the owner VM.
+        for (app, placement) in &placed {
+            let vm = inp.apps[app.index()].vm;
+            for (bank, bytes) in placement {
+                assert!(*bytes > 0.0);
+                assert_eq!(claims[bank.index()], Some(vm));
+            }
+        }
+        // Full reservations were still possible (plenty of capacity).
+        for (app, placement) in &placed {
+            let total: f64 = placement.iter().map(|(_, b)| b).sum();
+            assert!((total - inp.lc_size(*app)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn truncates_when_machine_is_full() {
+        let inp = input();
+        let mut balance = vec![0.25 * MB; inp.cfg.llc.num_banks]; // only 5 MB total
+        let placed = lat_crit_placer(&inp, &mut balance, None);
+        let total: f64 = placed
+            .iter()
+            .flat_map(|(_, p)| p.iter().map(|(_, b)| *b))
+            .sum();
+        assert!(
+            (total - 5.0 * MB).abs() < 1e-6,
+            "everything available was used"
+        );
+        assert!(balance.iter().all(|&b| b.abs() < 1e-9));
+    }
+
+    #[test]
+    fn second_app_spills_around_first() {
+        let mut inp = input();
+        // Give app 0 the entire corner region.
+        inp.lc_sizes[0] = 4.0 * MB;
+        let mut balance = full_balance(&inp);
+        let placed = lat_crit_placer(&inp, &mut balance, None);
+        // App 0 consumed banks 0,1,5,6 (its 4 nearest); app 5 (core 4, the
+        // NE corner) is unaffected and takes bank 4 first.
+        let (_, p1) = &placed[1];
+        assert_eq!(p1[0].0, BankId(4));
+    }
+}

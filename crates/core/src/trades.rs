@@ -1,0 +1,197 @@
+//! The trade-based placement refinement the paper explored and rejected
+//! (Sec. V-D and Sec. VIII-C).
+//!
+//! After `JumanjiPlacer` runs, this pass tries to move batch data closer by
+//! relocating slices of latency-critical reservations to farther banks
+//! *within the same VM*, compensating the latency-critical application with
+//! extra capacity so its service time — and therefore its deadline — is
+//! unaffected. A trade is accepted only when the batch cycles saved by the
+//! shorter distance exceed the batch cycles lost to the donated capacity.
+//!
+//! The paper found that because trades "cannot penalize latency-critical
+//! applications", beneficial ones are rare and the refinement "generally
+//! behaves like Jumanji's simple LatCritPlacer in practice". This module
+//! exists to reproduce that negative result (see the `ablation` binary).
+
+use crate::allocation::Allocation;
+use crate::model::{AppKind, PlacementInput};
+use crate::placer::jumanji_placer;
+use nuca_types::AppId;
+
+/// Outcome counters of the trade pass.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TradeStats {
+    /// Candidate trades evaluated.
+    pub attempted: u64,
+    /// Trades that passed both the deadline constraint and the batch
+    /// benefit test.
+    pub accepted: u64,
+}
+
+/// Capacity slice considered per trade: one way of one bank.
+fn slice_bytes(input: &PlacementInput) -> f64 {
+    input.unit_bytes() as f64
+}
+
+/// Runs `JumanjiPlacer` and then the trade refinement; returns the refined
+/// allocation and the trade counters.
+pub fn jumanji_with_trades(input: &PlacementInput) -> (Allocation, TradeStats) {
+    let mut alloc = jumanji_placer(input, true);
+    let mut stats = TradeStats::default();
+    let mesh = input.cfg.mesh();
+    let hop_cycles = 2.0 * input.cfg.noc.hop_latency().as_u64() as f64; // round trip per hop
+    let slice = slice_bytes(input);
+
+    for lc in input
+        .apps
+        .iter()
+        .filter(|a| a.kind == AppKind::LatencyCritical)
+    {
+        // Batch apps in the same VM, by traffic (heaviest first).
+        let mut batch: Vec<&crate::model::AppModel> = input
+            .vm_apps(lc.vm)
+            .filter(|a| a.kind == AppKind::Batch)
+            .collect();
+        batch.sort_by(|a, b| {
+            b.access_rate
+                .partial_cmp(&a.access_rate)
+                .expect("rates are finite")
+        });
+        for b in batch {
+            stats.attempted += 1;
+            // Candidate: the LC bank closest to the batch app's core that
+            // holds at least one slice of LC data.
+            let lc_banks = alloc.of(lc.id).placement.clone();
+            let Some(&(near_bank, near_bytes)) = lc_banks
+                .iter()
+                .filter(|(_, bytes)| *bytes >= slice)
+                .min_by_key(|(bank, _)| mesh.hops_core_to_bank(b.core, *bank))
+            else {
+                continue;
+            };
+            // Destination for the displaced LC slice: the farthest (from
+            // the batch app) bank where the *batch* app currently holds at
+            // least one slice — the two swap.
+            // The batch app must hold two slices there: one to swap and
+            // one to donate as compensation.
+            let Some(&(far_bank, far_bytes)) = alloc
+                .of(b.id)
+                .placement
+                .iter()
+                .filter(|(_, bytes)| *bytes >= 2.0 * slice)
+                .max_by_key(|(bank, _)| mesh.hops_core_to_bank(b.core, *bank))
+            else {
+                continue;
+            };
+            if near_bank == far_bank {
+                continue;
+            }
+            let d_near = mesh.hops_core_to_bank(b.core, near_bank) as f64;
+            let d_far = mesh.hops_core_to_bank(b.core, far_bank) as f64;
+            if d_far <= d_near {
+                continue; // nothing to gain
+            }
+            // LC latency increase from moving its slice farther (relative
+            // to its own core).
+            let lc_d_near = mesh.hops_core_to_bank(lc.core, near_bank) as f64;
+            let lc_d_far = mesh.hops_core_to_bank(lc.core, far_bank) as f64;
+            let lc_frac = slice / alloc.of(lc.id).total_bytes().max(slice);
+            let lc_extra_cycles =
+                lc.access_rate * lc_frac * (lc_d_far - lc_d_near).max(0.0) * hop_cycles;
+            // Compensation: how much extra capacity restores the LC app's
+            // miss budget (curve is absolute misses/s; one slice's drop).
+            let lc_cap = alloc.of(lc.id).total_bytes();
+            let comp_gain = (lc.curve.eval_bytes(lc_cap as u64)
+                - lc.curve.eval_bytes((lc_cap + slice) as u64))
+                * input.cfg.mem.latency.as_u64() as f64;
+            if comp_gain < lc_extra_cycles {
+                // One compensation slice cannot pay for the move without
+                // penalizing the LC app: the deadline constraint rejects
+                // the trade (this is the common case the paper reports).
+                continue;
+            }
+            // Batch benefit: its slice moves near; it loses the slice it
+            // donates as compensation.
+            let batch_gain = b.access_rate
+                * (slice / alloc.of(b.id).total_bytes().max(slice))
+                * (d_far - d_near)
+                * hop_cycles;
+            let batch_cap = alloc.of(b.id).total_bytes();
+            let batch_loss = (b.curve.eval_bytes((batch_cap - slice).max(0.0) as u64)
+                - b.curve.eval_bytes(batch_cap as u64))
+                * input.cfg.mem.latency.as_u64() as f64;
+            if batch_gain <= batch_loss {
+                continue;
+            }
+            // Execute: the LC slice relocates near→far; the batch app
+            // takes the freed near slice and donates one far slice to the
+            // LC app as capacity compensation. Per-bank capacity is
+            // conserved: near {LC −1, batch +1}, far {LC +2, batch −2}.
+            stats.accepted += 1;
+            move_bytes(&mut alloc, lc.id, near_bank, -slice);
+            move_bytes(&mut alloc, lc.id, far_bank, 2.0 * slice);
+            move_bytes(&mut alloc, b.id, far_bank, -2.0 * slice);
+            move_bytes(&mut alloc, b.id, near_bank, slice);
+            let _ = (near_bytes, far_bytes);
+        }
+    }
+    (alloc, stats)
+}
+
+/// Adjusts `app`'s bytes in `bank` by `delta`, dropping empty entries.
+fn move_bytes(alloc: &mut Allocation, app: AppId, bank: nuca_types::BankId, delta: f64) {
+    let placement = &mut alloc.apps[app.index()].placement;
+    match placement.iter_mut().find(|(b, _)| *b == bank) {
+        Some((_, bytes)) => {
+            *bytes = (*bytes + delta).max(0.0);
+        }
+        None if delta > 0.0 => placement.push((bank, delta)),
+        None => {}
+    }
+    placement.retain(|(_, bytes)| *bytes > 1e-9);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuca_types::SystemConfig;
+
+    #[test]
+    fn trades_preserve_validity_and_isolation() {
+        let input = PlacementInput::example(&SystemConfig::micro2020());
+        let (alloc, stats) = jumanji_with_trades(&input);
+        alloc.validate(&input.cfg).unwrap();
+        assert!(alloc.vm_isolated(&input), "trades stay within VMs");
+        assert!(stats.attempted > 0);
+    }
+
+    #[test]
+    fn trades_are_rare() {
+        // The paper's negative result: the deadline constraint rejects
+        // almost every candidate.
+        let input = PlacementInput::example(&SystemConfig::micro2020());
+        let (_, stats) = jumanji_with_trades(&input);
+        assert!(
+            stats.accepted * 4 <= stats.attempted,
+            "{} of {} trades accepted — should be rare",
+            stats.accepted,
+            stats.attempted
+        );
+    }
+
+    #[test]
+    fn lc_capacity_never_shrinks() {
+        let input = PlacementInput::example(&SystemConfig::micro2020());
+        let base = jumanji_placer(&input, true);
+        let (traded, _) = jumanji_with_trades(&input);
+        for a in &input.apps {
+            if a.kind == AppKind::LatencyCritical {
+                assert!(
+                    traded.of(a.id).total_bytes() >= base.of(a.id).total_bytes() - 1.0,
+                    "{} lost capacity",
+                    a.id
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Unloaded latency model for the mesh NoC.
+//!
+//! Latency of a message = hops × (router + link) + (flits − 1) serialization
+//! at the destination. Requests are single-flit control messages; responses
+//! carry a 64 B line (4 flits at 128-bit links, Table II).
+
+use nuca_types::{BankId, CoreId, Cycles, Mesh, NocConfig, SystemConfig, TileCoord};
+
+/// Latency calculator for a mesh NoC with X-Y routing.
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct MeshNoc {
+    mesh: Mesh,
+    noc: NocConfig,
+    line_bytes: u64,
+    mem_latency: Cycles,
+}
+
+impl MeshNoc {
+    /// Builds the latency model from a system configuration.
+    pub fn new(cfg: &SystemConfig) -> MeshNoc {
+        MeshNoc {
+            mesh: cfg.mesh(),
+            noc: cfg.noc,
+            line_bytes: cfg.llc.line_bytes,
+            mem_latency: cfg.mem.latency,
+        }
+    }
+
+    /// The underlying mesh.
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// One-way latency for a message of `payload_bytes` over `hops` hops.
+    ///
+    /// Zero-hop messages still pay serialization if multi-flit (the payload
+    /// must cross the bank/core interface), but no router/link latency.
+    pub fn oneway(&self, hops: usize, payload_bytes: u64) -> Cycles {
+        let flits = self.noc.flits_for_bytes(payload_bytes.max(1));
+        let transit = self.noc.hop_latency().as_u64() * hops as u64;
+        Cycles(transit + (flits - 1))
+    }
+
+    /// Round-trip latency of an LLC access from `core` to `bank`, excluding
+    /// the bank's own access latency: a 1-flit request plus a line-sized
+    /// response.
+    pub fn llc_round_trip(&self, core: CoreId, bank: BankId) -> Cycles {
+        let hops = self.mesh.hops_core_to_bank(core, bank);
+        self.oneway(hops, 8) + self.oneway(hops, self.line_bytes)
+    }
+
+    /// Round-trip latency for `hops` hops (request + line response), used
+    /// by the analytic model with fractional average distances.
+    pub fn round_trip_for_hops(&self, hops: f64) -> f64 {
+        let per_hop = self.noc.hop_latency().as_u64() as f64;
+        let req_ser = (self.noc.flits_for_bytes(8) - 1) as f64;
+        let resp_ser = (self.noc.flits_for_bytes(self.line_bytes) - 1) as f64;
+        2.0 * hops * per_hop + req_ser + resp_ser
+    }
+
+    /// Additional latency of an LLC miss serviced by the nearest memory
+    /// controller (bank → corner MC → DRAM → bank), excluding queueing.
+    pub fn miss_penalty(&self, bank: BankId) -> Cycles {
+        let hops = self.mesh.hops_to_nearest_corner(self.mesh.bank_tile(bank));
+        self.oneway(hops, 8) + self.mem_latency + self.oneway(hops, self.line_bytes)
+    }
+
+    /// Average miss penalty over all banks (used when data placement is not
+    /// bank-resolved in the analytic model).
+    pub fn avg_miss_penalty(&self) -> f64 {
+        let n = self.mesh.num_tiles();
+        (0..n)
+            .map(|b| self.miss_penalty(BankId(b)).as_u64() as f64)
+            .sum::<f64>()
+            / n as f64
+    }
+
+    /// Hop distance from a tile to the nearest memory controller corner.
+    pub fn mem_hops(&self, tile: TileCoord) -> usize {
+        self.mesh.hops_to_nearest_corner(tile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nuca_types::SystemConfig;
+
+    fn noc() -> MeshNoc {
+        MeshNoc::new(&SystemConfig::micro2020())
+    }
+
+    #[test]
+    fn oneway_zero_hops_single_flit_is_free() {
+        assert_eq!(noc().oneway(0, 8), Cycles(0));
+    }
+
+    #[test]
+    fn oneway_accounts_for_serialization() {
+        let n = noc();
+        // 64 B = 4 flits: 3 serialization cycles on top of transit.
+        assert_eq!(n.oneway(2, 64), Cycles(2 * 3 + 3));
+        assert_eq!(n.oneway(0, 64), Cycles(3));
+    }
+
+    #[test]
+    fn round_trip_matches_components() {
+        let n = noc();
+        let rt = n.llc_round_trip(CoreId(0), BankId(1)); // 1 hop
+                                                         // Request: 3 cycles transit. Response: 3 transit + 3 serialization.
+        assert_eq!(rt, Cycles(3 + 6));
+        // Fractional version agrees at integer hops.
+        assert_eq!(n.round_trip_for_hops(1.0), 9.0);
+    }
+
+    #[test]
+    fn local_bank_cheaper_than_remote() {
+        let n = noc();
+        let local = n.llc_round_trip(CoreId(0), BankId(0));
+        let remote = n.llc_round_trip(CoreId(0), BankId(19));
+        assert_eq!(local, Cycles(3)); // only response serialization
+        assert_eq!(remote, Cycles(7 * 3 + 7 * 3 + 3));
+        assert!(remote > local);
+    }
+
+    #[test]
+    fn miss_penalty_includes_dram_latency() {
+        let n = noc();
+        // Bank 0 is itself a corner: no hops, just serialization + DRAM.
+        assert_eq!(n.miss_penalty(BankId(0)), Cycles(120 + 3));
+        // Center banks pay hops to a corner both ways.
+        let center = n.miss_penalty(BankId(7)); // tile (2,1): 3 hops
+        assert_eq!(center, Cycles(3 * 3 + 120 + 3 * 3 + 3));
+        let avg = n.avg_miss_penalty();
+        assert!(avg > 123.0 && avg < center.as_u64() as f64 + 1.0);
+    }
+}

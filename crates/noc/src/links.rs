@@ -1,0 +1,220 @@
+//! Per-link traffic flows and contention under X-Y routing.
+//!
+//! The latency model in [`crate::MeshNoc`] is unloaded; this module adds
+//! the load-dependent part: given each requester's flit rate to each bank,
+//! it routes every flow over the mesh (X then Y, the paper's
+//! dimension-ordered routing) and accumulates per-directional-link
+//! utilization. Links carry one flit per cycle, so M/D/1 waiting on the
+//! links along a path gives the congestion delay — the "NoC contention"
+//! that makes a victim's activity visible chip-wide in the port attack
+//! (Fig. 11) and that grows with router delay in Fig. 18.
+
+use crate::queueing::md1_wait;
+use nuca_types::{BankId, CoreId, Mesh, TileCoord};
+use std::collections::HashMap;
+
+/// A directional link between two adjacent tiles, identified by
+/// `(from_tile, to_tile)` indices.
+pub type Link = (usize, usize);
+
+/// Accumulated flit rates (flits per cycle) per directional link.
+#[derive(Debug, Clone, Default)]
+pub struct LinkLoads {
+    flows: HashMap<Link, f64>,
+    mesh_tiles: usize,
+}
+
+impl LinkLoads {
+    /// Computes link loads for a set of flows.
+    ///
+    /// Each flow is `(core, bank, flits_per_cycle)` and is routed in both
+    /// directions: request (core → bank) and response (bank → core), each
+    /// X-first. The same rate is charged on both paths; callers fold the
+    /// request/response flit asymmetry into the rate.
+    pub fn from_flows<I>(mesh: Mesh, flows: I) -> LinkLoads
+    where
+        I: IntoIterator<Item = (CoreId, BankId, f64)>,
+    {
+        let mut loads = LinkLoads {
+            flows: HashMap::new(),
+            mesh_tiles: mesh.num_tiles(),
+        };
+        for (core, bank, rate) in flows {
+            if rate <= 0.0 {
+                continue;
+            }
+            loads.add_path(mesh, mesh.core_tile(core), mesh.bank_tile(bank), rate);
+            loads.add_path(mesh, mesh.bank_tile(bank), mesh.core_tile(core), rate);
+        }
+        loads
+    }
+
+    /// Adds `rate` along the X-then-Y path from `from` to `to`.
+    fn add_path(&mut self, mesh: Mesh, from: TileCoord, to: TileCoord, rate: f64) {
+        let mut cur = from;
+        while cur.x != to.x {
+            let next = TileCoord {
+                x: if to.x > cur.x { cur.x + 1 } else { cur.x - 1 },
+                y: cur.y,
+            };
+            *self
+                .flows
+                .entry((mesh.tile_index(cur), mesh.tile_index(next)))
+                .or_default() += rate;
+            cur = next;
+        }
+        while cur.y != to.y {
+            let next = TileCoord {
+                x: cur.x,
+                y: if to.y > cur.y { cur.y + 1 } else { cur.y - 1 },
+            };
+            *self
+                .flows
+                .entry((mesh.tile_index(cur), mesh.tile_index(next)))
+                .or_default() += rate;
+            cur = next;
+        }
+    }
+
+    /// Utilization of one directional link (flits per cycle; capacity 1).
+    pub fn utilization(&self, link: Link) -> f64 {
+        self.flows.get(&link).copied().unwrap_or(0.0)
+    }
+
+    /// The most loaded link's utilization.
+    pub fn max_utilization(&self) -> f64 {
+        self.flows.values().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean utilization over links carrying any traffic.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.flows.is_empty() {
+            return 0.0;
+        }
+        self.flows.values().sum::<f64>() / self.flows.len() as f64
+    }
+
+    /// Total flit·links per cycle (the NoC's dynamic activity).
+    pub fn total_flit_links(&self) -> f64 {
+        self.flows.values().sum()
+    }
+
+    /// Expected congestion delay (cycles) along the X-then-Y path from
+    /// `core` to `bank` and back: the sum of per-link M/D/1 waits at
+    /// 1-cycle service.
+    pub fn path_delay(&self, mesh: Mesh, core: CoreId, bank: BankId) -> f64 {
+        let mut total = 0.0;
+        let mut walk = |from: TileCoord, to: TileCoord| {
+            let mut cur = from;
+            while cur.x != to.x {
+                let next = TileCoord {
+                    x: if to.x > cur.x { cur.x + 1 } else { cur.x - 1 },
+                    y: cur.y,
+                };
+                total += md1_wait(
+                    self.utilization((mesh.tile_index(cur), mesh.tile_index(next))),
+                    1.0,
+                );
+                cur = next;
+            }
+            while cur.y != to.y {
+                let next = TileCoord {
+                    x: cur.x,
+                    y: if to.y > cur.y { cur.y + 1 } else { cur.y - 1 },
+                };
+                total += md1_wait(
+                    self.utilization((mesh.tile_index(cur), mesh.tile_index(next))),
+                    1.0,
+                );
+                cur = next;
+            }
+        };
+        walk(mesh.core_tile(core), mesh.bank_tile(bank));
+        walk(mesh.bank_tile(bank), mesh.core_tile(core));
+        total
+    }
+
+    /// Number of tiles of the mesh these loads were computed for.
+    pub fn mesh_tiles(&self) -> usize {
+        self.mesh_tiles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::new(5, 4)
+    }
+
+    #[test]
+    fn single_flow_loads_its_path_only() {
+        let m = mesh();
+        // Core 0 (0,0) -> bank 7 (2,1): X-first path 0->1->2 then 2->7.
+        let loads = LinkLoads::from_flows(m, [(CoreId(0), BankId(7), 0.25)]);
+        assert_eq!(loads.utilization((0, 1)), 0.25);
+        assert_eq!(loads.utilization((1, 2)), 0.25);
+        assert_eq!(loads.utilization((2, 7)), 0.25);
+        // Response path is Y-symmetric but X-first from (2,1): 7->6->5 then 5->0.
+        assert_eq!(loads.utilization((7, 6)), 0.25);
+        assert_eq!(loads.utilization((6, 5)), 0.25);
+        assert_eq!(loads.utilization((5, 0)), 0.25);
+        // Unrelated links stay idle.
+        assert_eq!(loads.utilization((3, 4)), 0.0);
+    }
+
+    #[test]
+    fn local_bank_loads_no_links() {
+        let loads = LinkLoads::from_flows(mesh(), [(CoreId(7), BankId(7), 0.9)]);
+        assert_eq!(loads.total_flit_links(), 0.0);
+        assert_eq!(loads.path_delay(mesh(), CoreId(7), BankId(7)), 0.0);
+    }
+
+    #[test]
+    fn flows_superimpose() {
+        let m = mesh();
+        let loads = LinkLoads::from_flows(
+            m,
+            [
+                (CoreId(0), BankId(2), 0.2),
+                (CoreId(1), BankId(2), 0.3), // shares link (1,2)
+            ],
+        );
+        assert!((loads.utilization((1, 2)) - 0.5).abs() < 1e-12);
+        assert!((loads.utilization((0, 1)) - 0.2).abs() < 1e-12);
+        assert_eq!(loads.max_utilization(), 0.5);
+    }
+
+    #[test]
+    fn path_delay_grows_with_congestion() {
+        let m = mesh();
+        let light = LinkLoads::from_flows(m, [(CoreId(0), BankId(4), 0.1)]);
+        let heavy = LinkLoads::from_flows(m, [(CoreId(0), BankId(4), 0.8)]);
+        let dl = light.path_delay(m, CoreId(0), BankId(4));
+        let dh = heavy.path_delay(m, CoreId(0), BankId(4));
+        assert!(dh > 4.0 * dl, "light {dl:.3} vs heavy {dh:.3}");
+    }
+
+    #[test]
+    fn total_activity_matches_rate_times_hops() {
+        let m = mesh();
+        // 3 hops each way at rate 0.5 -> 3 flit-links per direction.
+        let loads = LinkLoads::from_flows(m, [(CoreId(0), BankId(3), 0.5)]);
+        assert!((loads.total_flit_links() - 2.0 * 3.0 * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dnuca_placement_loads_links_less_than_snuca() {
+        let m = mesh();
+        // One app at core 0 with rate 0.2: S-NUCA stripes over all banks;
+        // D-NUCA uses the local + neighbour bank.
+        let snuca: Vec<(CoreId, BankId, f64)> = (0..20)
+            .map(|b| (CoreId(0), BankId(b), 0.2 / 20.0))
+            .collect();
+        let dnuca = vec![(CoreId(0), BankId(0), 0.1), (CoreId(0), BankId(1), 0.1)];
+        let ls = LinkLoads::from_flows(m, snuca);
+        let ld = LinkLoads::from_flows(m, dnuca);
+        assert!(ld.total_flit_links() < 0.2 * ls.total_flit_links());
+    }
+}

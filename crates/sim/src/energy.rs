@@ -1,0 +1,184 @@
+//! Dynamic data-movement energy model (Fig. 15).
+//!
+//! Energy is decomposed as in the paper — L1, L2, LLC banks, on-chip
+//! network, and memory — using per-event constants from
+//! [`nuca_types::EnergyConfig`] (Jenga-derived magnitudes). Event counts
+//! come from the analytic model: instructions executed, LLC accesses,
+//! misses, and the flit·hop products implied by the placement's average
+//! distance.
+
+use core::fmt;
+use core::ops::{Add, AddAssign};
+use nuca_types::SystemConfig;
+
+/// Fraction of instructions that access the L1 data cache.
+const L1_ACCESS_PER_INSTR: f64 = 0.35;
+/// L2 accesses per LLC access (the L2 filters roughly two thirds of its
+/// own misses' traffic in our model).
+const L2_PER_LLC_ACCESS: f64 = 3.0;
+/// Flits moved per LLC access (1-flit request + 4-flit line response).
+const FLITS_PER_ACCESS: f64 = 5.0;
+
+/// Data-movement energy broken down by component, in joules.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    /// L1 cache access energy.
+    pub l1: f64,
+    /// L2 cache access energy.
+    pub l2: f64,
+    /// LLC bank access energy.
+    pub llc: f64,
+    /// NoC link/router traversal energy.
+    pub noc: f64,
+    /// DRAM access energy.
+    pub mem: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total(&self) -> f64 {
+        self.l1 + self.l2 + self.llc + self.noc + self.mem
+    }
+}
+
+impl Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+    fn add(self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            l1: self.l1 + rhs.l1,
+            l2: self.l2 + rhs.l2,
+            llc: self.llc + rhs.llc,
+            noc: self.noc + rhs.noc,
+            mem: self.mem + rhs.mem,
+        }
+    }
+}
+
+impl AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: EnergyBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "L1 {:.3} J, L2 {:.3} J, LLC {:.3} J, NoC {:.3} J, Mem {:.3} J (total {:.3} J)",
+            self.l1,
+            self.l2,
+            self.llc,
+            self.noc,
+            self.mem,
+            self.total()
+        )
+    }
+}
+
+/// Event counts for one application over one interval.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct EnergyEvents {
+    /// Instructions executed.
+    pub instructions: f64,
+    /// LLC accesses issued.
+    pub llc_accesses: f64,
+    /// LLC misses.
+    pub llc_misses: f64,
+    /// Average hops between the core and its LLC data.
+    pub avg_hops: f64,
+    /// Average hops between the data's bank and its memory controller.
+    pub mem_hops: f64,
+    /// Dirty-line write-backs to memory.
+    pub writebacks: f64,
+}
+
+/// Converts event counts into a component energy breakdown.
+pub fn energy_of(cfg: &SystemConfig, ev: &EnergyEvents) -> EnergyBreakdown {
+    let e = cfg.energy;
+    let pj = 1e-12;
+    EnergyBreakdown {
+        l1: ev.instructions * L1_ACCESS_PER_INSTR * e.l1_access_pj * pj,
+        l2: ev.llc_accesses * L2_PER_LLC_ACCESS * e.l2_access_pj * pj,
+        llc: ev.llc_accesses * e.llc_bank_access_pj * pj,
+        noc: (ev.llc_accesses * ev.avg_hops + (ev.llc_misses + ev.writebacks) * ev.mem_hops)
+            * FLITS_PER_ACCESS
+            * e.noc_hop_flit_pj
+            * pj,
+        mem: (ev.llc_misses + ev.writebacks) * e.dram_access_pj * pj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events() -> EnergyEvents {
+        EnergyEvents {
+            instructions: 1e9,
+            llc_accesses: 1.5e7,
+            llc_misses: 4.5e6,
+            avg_hops: 3.5,
+            mem_hops: 2.5,
+            writebacks: 1.2e6,
+        }
+    }
+
+    #[test]
+    fn components_scale_with_counts() {
+        let cfg = SystemConfig::micro2020();
+        let e1 = energy_of(&cfg, &events());
+        let mut ev = events();
+        ev.llc_misses *= 2.0;
+        let e2 = energy_of(&cfg, &ev);
+        // Doubling misses (writebacks fixed) nearly doubles DRAM energy.
+        assert!(e2.mem > 1.7 * e1.mem);
+        assert_eq!(e2.l1, e1.l1, "L1 energy independent of misses");
+        assert!(e2.noc > e1.noc, "miss traffic crosses the NoC");
+    }
+
+    #[test]
+    fn fewer_hops_cut_noc_energy_only() {
+        let cfg = SystemConfig::micro2020();
+        let far = energy_of(&cfg, &events());
+        let mut ev = events();
+        ev.avg_hops = 0.5;
+        let near = energy_of(&cfg, &ev);
+        assert!(near.noc < 0.5 * far.noc);
+        assert_eq!(near.llc, far.llc);
+        assert!(near.total() < far.total());
+    }
+
+    #[test]
+    fn breakdown_sums_and_adds() {
+        let cfg = SystemConfig::micro2020();
+        let e = energy_of(&cfg, &events());
+        assert!((e.total() - (e.l1 + e.l2 + e.llc + e.noc + e.mem)).abs() < 1e-15);
+        let mut acc = EnergyBreakdown::default();
+        acc += e;
+        acc += e;
+        assert!((acc.total() - 2.0 * e.total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn writebacks_add_dram_and_noc_energy() {
+        let cfg = SystemConfig::micro2020();
+        let base = energy_of(&cfg, &events());
+        let mut ev = events();
+        ev.writebacks *= 3.0;
+        let more = energy_of(&cfg, &ev);
+        assert!(more.mem > base.mem);
+        assert!(more.noc > base.noc);
+        assert_eq!(more.llc, base.llc);
+    }
+
+    #[test]
+    fn memory_dominates_miss_heavy_workloads() {
+        // Sanity: with a high miss count, DRAM is the biggest component —
+        // which is why partitioning (fewer misses) saves so much energy.
+        let cfg = SystemConfig::micro2020();
+        let mut ev = events();
+        ev.llc_misses = ev.llc_accesses * 0.8;
+        let e = energy_of(&cfg, &ev);
+        assert!(e.mem > e.llc && e.mem > e.noc);
+    }
+}

@@ -1,0 +1,495 @@
+//! The per-interval analytic performance model.
+//!
+//! Given an [`Allocation`] and each application's profile, this module
+//! computes the quantities the rest of the simulator consumes:
+//!
+//! - **Effective capacity**: partitioned applications own their bytes;
+//!   members of an unpartitioned pool settle to the occupancy equilibrium
+//!   of [`nuca_cache::analytic::shared_occupancy`].
+//! - **Miss ratio**: the profile's curve at the effective capacity,
+//!   inflated by the way-partitioning associativity penalty
+//!   ([`nuca_cache::analytic::assoc_penalty`]). D-NUCA allocations occupy
+//!   whole banks at full associativity and pay no penalty — one of the two
+//!   mechanisms behind Fig. 8.
+//! - **LLC access latency**: bank latency + NoC round trip at the
+//!   placement's average hop distance (the other Fig. 8 mechanism) + M/D/1
+//!   port queueing.
+//! - **Miss penalty**: DRAM latency + bank↔controller hops + bandwidth
+//!   queueing at the per-controller demand.
+
+use jumanji_core::{Allocation, AppKind};
+use nuca_cache::analytic::{assoc_penalty, shared_occupancy};
+use nuca_cache::MissCurve;
+use nuca_mem::MemSystem;
+use nuca_noc::queueing::md1_wait;
+use nuca_noc::{LinkLoads, MeshNoc};
+use nuca_types::{AppId, BankId, CoreId, SystemConfig};
+use nuca_workloads::{BatchProfile, LcLoad, LcProfile};
+
+/// Cycles one access occupies a bank port (data transfer of a 64 B line
+/// over a 128-bit port).
+const PORT_OCCUPANCY: f64 = 4.0;
+
+/// Flits moved per LLC access (1-flit request + 4-flit line response),
+/// charged on the request path; the symmetric response path is charged by
+/// [`LinkLoads::from_flows`] itself.
+const FLITS_PER_ACCESS: f64 = 2.5;
+
+/// Extra contention misses suffered by members of an *unpartitioned* pool,
+/// beyond the occupancy equilibrium: co-runners' insertions evict lines in
+/// flight between uses. This transient-interference term is exactly what
+/// utility-based partitioning removes \[69\]; its magnitude scales with
+/// how much of the pool belongs to others.
+const POOL_CHURN: f64 = 0.06;
+
+/// An application as the simulator sees it.
+#[derive(Debug, Clone)]
+pub enum Profile {
+    /// A batch application.
+    Batch(BatchProfile),
+    /// A latency-critical application and its load level.
+    Lc(LcProfile, LcLoad),
+}
+
+impl Profile {
+    /// The application's miss-ratio shape evaluated at `bytes`.
+    pub fn miss_ratio(&self, bytes: f64) -> f64 {
+        let b = bytes.max(0.0) as u64;
+        match self {
+            Profile::Batch(p) => p.shape.ratio(b),
+            Profile::Lc(p, _) => p.shape.ratio(b),
+        }
+    }
+
+    /// The kind used by placement algorithms.
+    pub fn kind(&self) -> AppKind {
+        match self {
+            Profile::Batch(_) => AppKind::Batch,
+            Profile::Lc(..) => AppKind::LatencyCritical,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Profile::Batch(p) => p.name,
+            Profile::Lc(p, _) => p.name,
+        }
+    }
+}
+
+/// Per-application outputs of the performance model for one interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AppPerf {
+    /// Effective cache capacity in bytes (equilibrium share for pooled
+    /// apps).
+    pub capacity_bytes: f64,
+    /// Miss ratio after the associativity penalty.
+    pub miss_ratio: f64,
+    /// Average hops from the core to the data.
+    pub avg_hops: f64,
+    /// Average LLC access latency in cycles (bank + network + port wait).
+    pub llc_latency: f64,
+    /// Average additional latency of a miss, in cycles.
+    pub miss_penalty: f64,
+    /// Instructions per second (batch apps; 0 for LC).
+    pub ips: f64,
+    /// Service time per request in cycles (LC apps; 0 for batch).
+    pub service_cycles: f64,
+    /// LLC accesses per second generated at this operating point.
+    pub access_rate: f64,
+}
+
+/// Evaluates the performance model for every application.
+///
+/// `prev_rates[a]` is the previous interval's access rate estimate
+/// (accesses/second), used to seed the fixed point between IPS and
+/// latency; pass the profile-based initial guess on the first interval.
+pub fn evaluate(
+    cfg: &SystemConfig,
+    profiles: &[Profile],
+    cores: &[CoreId],
+    alloc: &Allocation,
+    prev_rates: &[f64],
+) -> Vec<AppPerf> {
+    assert_eq!(profiles.len(), cores.len(), "one core per application");
+    let noc = MeshNoc::new(cfg);
+    let mem = MemSystem::new(cfg);
+    let n = profiles.len();
+    let mut rates: Vec<f64> = prev_rates.to_vec();
+    let mut out = vec![AppPerf::default(); n];
+
+    // Geometry and capacity are fixed by the allocation; latency and rates
+    // need a few fixed-point iterations.
+    let capacities = effective_capacities(cfg, profiles, alloc, &rates);
+    for _ in 0..3 {
+        let (bank_load, ctrl_load, link_loads) =
+            traffic(cfg, alloc, profiles, cores, &rates, &capacities, &mem);
+        for (i, prof) in profiles.iter().enumerate() {
+            let app = AppId(i);
+            let cap = capacities[i];
+            let ways = avg_ways(cfg, alloc, app);
+            // Unpartitioned sharing adds transient contention misses on
+            // top of the equilibrium, proportional to the pool share held
+            // by co-runners.
+            let churn = match alloc.of(app).pool {
+                Some(p) => {
+                    let pool_bytes = alloc.pools[p].total_bytes().max(1.0);
+                    1.0 + POOL_CHURN * (1.0 - cap / pool_bytes)
+                }
+                None => 1.0,
+            };
+            let mr = (prof.miss_ratio(cap) * assoc_penalty(ways, cfg.llc.ways) * churn).min(1.0);
+            let placement = alloc.placement_of(app);
+            let hops = alloc_distance(cfg, alloc, app, cores[i]);
+            // Port wait averaged over the banks this app touches.
+            let total_bytes: f64 = placement.iter().map(|(_, b)| b).sum();
+            let port_wait = if total_bytes > 0.0 {
+                placement
+                    .iter()
+                    .map(|&(b, bytes)| {
+                        md1_wait(bank_load[b.index()], PORT_OCCUPANCY) * bytes / total_bytes
+                    })
+                    .sum()
+            } else {
+                0.0
+            };
+            // Link congestion along the app's paths, weighted by its
+            // per-bank traffic shares.
+            let link_wait = if total_bytes > 0.0 {
+                placement
+                    .iter()
+                    .map(|&(b, bytes)| {
+                        link_loads.path_delay(cfg.mesh(), cores[i], b) * bytes / total_bytes
+                    })
+                    .sum()
+            } else {
+                0.0
+            };
+            let llc_lat = cfg.llc.bank_latency.as_u64() as f64
+                + noc.round_trip_for_hops(hops)
+                + port_wait
+                + link_wait;
+            // Miss penalty: bank to nearest controller and back + DRAM +
+            // bandwidth queueing at that controller.
+            let miss_pen = if total_bytes > 0.0 {
+                placement
+                    .iter()
+                    .map(|&(b, bytes)| {
+                        let base = noc.miss_penalty(b).as_u64() as f64;
+                        let q = mem.queue_delay(ctrl_load[mem.controller_for_bank(b)]);
+                        (base + q) * bytes / total_bytes
+                    })
+                    .sum()
+            } else {
+                noc.avg_miss_penalty() + mem.queue_delay(ctrl_load.iter().sum::<f64>() / 4.0)
+            };
+            let perf = &mut out[i];
+            perf.capacity_bytes = cap;
+            perf.miss_ratio = mr;
+            perf.avg_hops = hops;
+            perf.llc_latency = llc_lat;
+            perf.miss_penalty = miss_pen;
+            match prof {
+                Profile::Batch(p) => {
+                    perf.ips = p.ips(llc_lat, mr, miss_pen, cfg.freq_hz);
+                    perf.access_rate = perf.ips * p.llc_apki / 1000.0;
+                    perf.service_cycles = 0.0;
+                }
+                Profile::Lc(p, load) => {
+                    perf.service_cycles = p.service_cycles(llc_lat, mr, miss_pen);
+                    // Served request rate cannot exceed the service rate.
+                    let offered = p.qps(*load);
+                    let served = offered.min(cfg.freq_hz / perf.service_cycles);
+                    perf.access_rate = served * p.accesses_per_req;
+                    perf.ips = 0.0;
+                }
+            }
+        }
+        for i in 0..n {
+            rates[i] = out[i].access_rate;
+        }
+    }
+    out
+}
+
+/// Resolves each application's effective capacity: partition bytes, or the
+/// equilibrium share of its pool.
+pub fn effective_capacities(
+    cfg: &SystemConfig,
+    profiles: &[Profile],
+    alloc: &Allocation,
+    rates: &[f64],
+) -> Vec<f64> {
+    let unit = cfg.llc.way_bytes();
+    let mut caps: Vec<f64> = alloc.apps.iter().map(|a| a.total_bytes()).collect();
+    for pool in &alloc.pools {
+        let pool_units = pool.total_bytes() / unit as f64;
+        // Members' absolute miss-rate curves at unit granularity.
+        let curves: Vec<MissCurve> = pool
+            .members
+            .iter()
+            .map(|m| {
+                let prof = &profiles[m.index()];
+                let rate = rates[m.index()].max(1.0);
+                let pts: Vec<f64> = (0..=cfg.llc.total_ways() as usize)
+                    .map(|u| prof.miss_ratio((u as u64 * unit) as f64) * rate)
+                    .collect();
+                MissCurve::new(unit, pts)
+            })
+            .collect();
+        let occ = shared_occupancy(&curves, pool_units);
+        for (m, o) in pool.members.iter().zip(occ) {
+            caps[m.index()] = o * unit as f64;
+        }
+    }
+    caps
+}
+
+/// Average ways available to the app where its data lives (pool ways for
+/// pooled apps).
+fn avg_ways(cfg: &SystemConfig, alloc: &Allocation, app: AppId) -> f64 {
+    let a = alloc.of(app);
+    match a.pool {
+        Some(p) => alloc.pools[p].avg_ways(cfg),
+        None => a.avg_ways(cfg),
+    }
+}
+
+/// Average hop distance for `app` under `alloc`.
+fn alloc_distance(cfg: &SystemConfig, alloc: &Allocation, app: AppId, core: CoreId) -> f64 {
+    let mesh = cfg.mesh();
+    let placement = alloc.placement_of(app);
+    if placement.is_empty() {
+        // No data in the LLC at all: misses travel the S-NUCA average.
+        return mesh.snuca_avg_distance(core);
+    }
+    mesh.weighted_distance(core, placement.iter().copied())
+}
+
+/// Per-bank port utilization and per-controller bandwidth demand for the
+/// current rates.
+fn traffic(
+    cfg: &SystemConfig,
+    alloc: &Allocation,
+    profiles: &[Profile],
+    cores: &[CoreId],
+    rates: &[f64],
+    capacities: &[f64],
+    mem: &MemSystem,
+) -> (Vec<f64>, Vec<f64>, LinkLoads) {
+    let nbanks = cfg.llc.num_banks;
+    let mut bank_load = vec![0.0f64; nbanks]; // utilization per bank port
+    let mut ctrl_load = vec![0.0f64; mem.num_controllers()]; // lines/cycle
+    let mut flows: Vec<(CoreId, BankId, f64)> = Vec::new();
+    for (i, prof) in profiles.iter().enumerate() {
+        let app = AppId(i);
+        let rate_cyc = rates[i] / cfg.freq_hz; // accesses per cycle
+        let placement = alloc.placement_of(app);
+        let total: f64 = placement.iter().map(|(_, b)| b).sum();
+        let mr = prof.miss_ratio(capacities[i]).min(1.0);
+        if total <= 0.0 {
+            // Uniform striping assumption when no placement is known.
+            for (b, load) in bank_load.iter_mut().enumerate() {
+                *load += rate_cyc / nbanks as f64 * PORT_OCCUPANCY;
+                let c = mem.controller_for_bank(BankId(b));
+                ctrl_load[c] += rate_cyc * mr / nbanks as f64;
+                flows.push((
+                    cores[i],
+                    BankId(b),
+                    rate_cyc / nbanks as f64 * FLITS_PER_ACCESS,
+                ));
+            }
+            continue;
+        }
+        for &(b, bytes) in placement {
+            let share = bytes / total;
+            bank_load[b.index()] += rate_cyc * share * PORT_OCCUPANCY;
+            let c = mem.controller_for_bank(b);
+            ctrl_load[c] += rate_cyc * mr * share;
+            flows.push((cores[i], b, rate_cyc * share * FLITS_PER_ACCESS));
+        }
+    }
+    let link_loads = LinkLoads::from_flows(cfg.mesh(), flows);
+    (bank_load, ctrl_load, link_loads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jumanji_core::{DesignKind, PlacementInput};
+    use nuca_workloads::{spec2006, tailbench};
+
+    fn profiles() -> Vec<Profile> {
+        // Mirror PlacementInput::example's 4 VMs x (1 LC + 4 batch).
+        let lc = tailbench();
+        let batch = spec2006();
+        let mut out = Vec::new();
+        for vm in 0..4 {
+            out.push(Profile::Lc(lc[vm % lc.len()].clone(), LcLoad::High));
+            for i in 0..4 {
+                out.push(Profile::Batch(batch[(vm * 4 + i) % batch.len()].clone()));
+            }
+        }
+        out
+    }
+
+    fn cores() -> Vec<CoreId> {
+        let quadrants: [[usize; 5]; 4] = [
+            [0, 1, 5, 6, 2],
+            [4, 3, 9, 8, 7],
+            [15, 16, 10, 11, 12],
+            [19, 18, 14, 13, 17],
+        ];
+        quadrants.iter().flatten().map(|&c| CoreId(c)).collect()
+    }
+
+    fn initial_rates(profiles: &[Profile]) -> Vec<f64> {
+        profiles
+            .iter()
+            .map(|p| match p {
+                Profile::Batch(b) => 1.5e9 * b.llc_apki / 1000.0,
+                Profile::Lc(l, load) => l.qps(*load) * l.accesses_per_req,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dnuca_latency_beats_snuca() {
+        let cfg = SystemConfig::micro2020();
+        let input = PlacementInput::example(&cfg);
+        let profs = profiles();
+        let rates = initial_rates(&profs);
+        let snuca = evaluate(
+            &cfg,
+            &profs,
+            &cores(),
+            &DesignKind::Adaptive.allocate(&input),
+            &rates,
+        );
+        let dnuca = evaluate(
+            &cfg,
+            &profs,
+            &cores(),
+            &DesignKind::Jumanji.allocate(&input),
+            &rates,
+        );
+        let avg = |v: &[AppPerf]| v.iter().map(|p| p.llc_latency).sum::<f64>() / v.len() as f64;
+        assert!(
+            avg(&dnuca) < avg(&snuca) - 5.0,
+            "D-NUCA {:.1} vs S-NUCA {:.1}",
+            avg(&dnuca),
+            avg(&snuca)
+        );
+    }
+
+    #[test]
+    fn batch_ips_positive_and_bounded() {
+        let cfg = SystemConfig::micro2020();
+        let input = PlacementInput::example(&cfg);
+        let profs = profiles();
+        let rates = initial_rates(&profs);
+        let perf = evaluate(
+            &cfg,
+            &profs,
+            &cores(),
+            &DesignKind::Static.allocate(&input),
+            &rates,
+        );
+        for (p, prof) in perf.iter().zip(&profs) {
+            if let Profile::Batch(b) = prof {
+                assert!(p.ips > 1e8, "{}: ips {}", b.name, p.ips);
+                assert!(p.ips < cfg.freq_hz / b.base_cpi);
+            }
+        }
+    }
+
+    #[test]
+    fn lc_service_time_reflects_capacity() {
+        let cfg = SystemConfig::micro2020();
+        let mut input = PlacementInput::example(&cfg);
+        let profs = profiles();
+        let rates = initial_rates(&profs);
+        // Starved LC allocation.
+        for a in 0..input.lc_sizes.len() {
+            if input.lc_sizes[a] > 0.0 {
+                input.lc_sizes[a] = 512.0 * 1024.0;
+            }
+        }
+        let starved = evaluate(
+            &cfg,
+            &profs,
+            &cores(),
+            &DesignKind::Jumanji.allocate(&input),
+            &rates,
+        );
+        // Generous LC allocation.
+        for a in 0..input.lc_sizes.len() {
+            if input.lc_sizes[a] > 0.0 {
+                input.lc_sizes[a] = 4.0 * 1024.0 * 1024.0;
+            }
+        }
+        let fed = evaluate(
+            &cfg,
+            &profs,
+            &cores(),
+            &DesignKind::Jumanji.allocate(&input),
+            &rates,
+        );
+        for i in (0..20).step_by(5) {
+            assert!(
+                starved[i].service_cycles > fed[i].service_cycles * 1.2,
+                "app {i}: starved {} vs fed {}",
+                starved[i].service_cycles,
+                fed[i].service_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn pooled_capacity_sums_to_pool() {
+        let cfg = SystemConfig::micro2020();
+        let input = PlacementInput::example(&cfg);
+        let profs = profiles();
+        let rates = initial_rates(&profs);
+        let alloc = DesignKind::Adaptive.allocate(&input);
+        let caps = effective_capacities(&cfg, &profs, &alloc, &rates);
+        let pool_cap: f64 = alloc.pools[0].total_bytes();
+        let member_caps: f64 = alloc.pools[0].members.iter().map(|m| caps[m.index()]).sum();
+        assert!(
+            (member_caps - pool_cap).abs() / pool_cap < 0.02,
+            "members hold {member_caps} of pool {pool_cap}"
+        );
+    }
+
+    #[test]
+    fn narrow_partitions_pay_associativity() {
+        let cfg = SystemConfig::micro2020();
+        let input = PlacementInput::example(&cfg);
+        let profs = profiles();
+        let rates = initial_rates(&profs);
+        // VM-Part stripes small VM pools across all banks: few ways each.
+        let vmpart = evaluate(
+            &cfg,
+            &profs,
+            &cores(),
+            &DesignKind::VmPart.allocate(&input),
+            &rates,
+        );
+        let jumanji = evaluate(
+            &cfg,
+            &profs,
+            &cores(),
+            &DesignKind::Jumanji.allocate(&input),
+            &rates,
+        );
+        // Compare miss ratios at (roughly) matched capacity for a batch app.
+        let i = 1; // a batch app
+        let vm_mr_per_cap = vmpart[i].miss_ratio / profs[i].miss_ratio(vmpart[i].capacity_bytes);
+        let ju_mr_per_cap = jumanji[i].miss_ratio / profs[i].miss_ratio(jumanji[i].capacity_bytes);
+        assert!(
+            vm_mr_per_cap > ju_mr_per_cap,
+            "VM-Part pays associativity penalty: {vm_mr_per_cap} vs {ju_mr_per_cap}"
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Error types for configuration validation.
+
+use core::fmt;
+
+/// An invalid system configuration.
+///
+/// # Examples
+///
+/// ```
+/// use nuca_types::{ConfigError, SystemConfig};
+/// let mut cfg = SystemConfig::micro2020();
+/// cfg.num_cores = 3;
+/// let err: ConfigError = cfg.validate().unwrap_err();
+/// assert!(err.to_string().contains("num_cores"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error with the given message.
+    pub fn new(message: impl Into<String>) -> ConfigError {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = ConfigError::new("boom");
+        assert_eq!(e.to_string(), "invalid configuration: boom");
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<ConfigError>();
+    }
+}

@@ -1,0 +1,464 @@
+//! Virtual caches: placement descriptors, the virtual-cache translation
+//! buffer (VTB), page→VC mapping, and the coherence cost of moving data.
+//!
+//! Jumanji reuses Jigsaw's single-lookup D-NUCA hardware (Sec. IV-A): every
+//! page belongs to a *virtual cache* (VC, one per application here), and
+//! each core's [`Vtb`] maps a VC id to a [`PlacementDescriptor`] — a
+//! 128-entry array of bank ids. An address is hashed to pick a descriptor
+//! entry, which names the unique LLC bank holding that address. Software
+//! controls placement simply by rewriting descriptor entries.
+//!
+//! # Examples
+//!
+//! ```
+//! use nuca_vc::{PlacementDescriptor, Vtb};
+//! use nuca_types::{AppId, BankId};
+//!
+//! // Place a VC 75% in bank 2 and 25% in bank 3.
+//! let desc = PlacementDescriptor::from_shares(&[(BankId(2), 0.75), (BankId(3), 0.25)]);
+//! let mut vtb = Vtb::new();
+//! vtb.install(AppId(0), desc);
+//! let bank = vtb.lookup(AppId(0), 0xABCD);
+//! assert!(bank == BankId(2) || bank == BankId(3));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nuca_types::hash::mix64;
+use nuca_types::{AppId, BankId, PageId};
+use std::collections::HashMap;
+
+/// Number of entries in a placement descriptor (matches the paper's
+/// 128-entry array, Fig. 7).
+pub const DESCRIPTOR_ENTRIES: usize = 128;
+
+/// Cache lines per page (4 KB pages of 64 B lines). Single-lookup D-NUCAs
+/// place data at page granularity (Sec. II-A), so every line of a page
+/// lives in the same bank.
+pub const PAGE_LINES: u64 = 64;
+
+/// The page containing a line address.
+///
+/// # Examples
+///
+/// ```
+/// use nuca_vc::{page_of_line, PAGE_LINES};
+/// use nuca_types::PageId;
+/// assert_eq!(page_of_line(0), PageId(0));
+/// assert_eq!(page_of_line(PAGE_LINES), PageId(1));
+/// ```
+#[inline]
+pub fn page_of_line(line: u64) -> PageId {
+    PageId((line / PAGE_LINES) as usize)
+}
+
+/// A 128-entry array of bank ids controlling where one virtual cache's
+/// lines live.
+///
+/// The fraction of the VC's data in bank *b* equals the fraction of
+/// descriptor entries naming *b* (the address hash is uniform).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementDescriptor {
+    entries: [BankId; DESCRIPTOR_ENTRIES],
+}
+
+impl PlacementDescriptor {
+    /// A descriptor striping data uniformly over `num_banks` banks —
+    /// S-NUCA behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_banks == 0`.
+    pub fn uniform(num_banks: usize) -> PlacementDescriptor {
+        assert!(num_banks > 0, "need at least one bank");
+        let mut entries = [BankId(0); DESCRIPTOR_ENTRIES];
+        for (i, e) in entries.iter_mut().enumerate() {
+            *e = BankId(i % num_banks);
+        }
+        PlacementDescriptor { entries }
+    }
+
+    /// Builds a descriptor whose per-bank entry counts approximate the
+    /// given capacity shares (largest-remainder apportionment).
+    ///
+    /// Shares need not sum to one; they are normalized. Banks with zero
+    /// share receive no entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shares` is empty or all weights are zero/negative.
+    pub fn from_shares(shares: &[(BankId, f64)]) -> PlacementDescriptor {
+        let total: f64 = shares.iter().map(|(_, w)| w.max(0.0)).sum();
+        assert!(total > 0.0, "placement shares must have positive total");
+        // Integer apportionment of 128 entries.
+        let mut counts: Vec<(BankId, usize, f64)> = shares
+            .iter()
+            .filter(|(_, w)| *w > 0.0)
+            .map(|&(b, w)| {
+                let exact = w / total * DESCRIPTOR_ENTRIES as f64;
+                (b, exact.floor() as usize, exact - exact.floor())
+            })
+            .collect();
+        let assigned: usize = counts.iter().map(|c| c.1).sum();
+        let mut remaining = DESCRIPTOR_ENTRIES - assigned;
+        // Hand out leftovers by largest fractional remainder (ties by bank
+        // id for determinism).
+        let mut order: Vec<usize> = (0..counts.len()).collect();
+        order.sort_by(|&a, &b| {
+            counts[b]
+                .2
+                .partial_cmp(&counts[a].2)
+                .expect("remainders are finite")
+                .then(counts[a].0.cmp(&counts[b].0))
+        });
+        for idx in order {
+            if remaining == 0 {
+                break;
+            }
+            counts[idx].1 += 1;
+            remaining -= 1;
+        }
+        let mut entries = [BankId(0); DESCRIPTOR_ENTRIES];
+        let mut pos = 0;
+        for (b, n, _) in &counts {
+            for _ in 0..*n {
+                entries[pos] = *b;
+                pos += 1;
+            }
+        }
+        debug_assert_eq!(pos, DESCRIPTOR_ENTRIES);
+        // Interleave entries so consecutive hash values don't stick to one
+        // bank: permute by a fixed stride coprime to 128.
+        let mut interleaved = [BankId(0); DESCRIPTOR_ENTRIES];
+        for (i, e) in entries.iter().enumerate() {
+            interleaved[(i * 37) % DESCRIPTOR_ENTRIES] = *e;
+        }
+        PlacementDescriptor {
+            entries: interleaved,
+        }
+    }
+
+    /// The bank holding `line` under this descriptor.
+    ///
+    /// Placement is page-granular (Sec. II-A): the descriptor entry is
+    /// selected by hashing the line's *page*, so all 64 lines of a page
+    /// map to the same bank.
+    #[inline]
+    pub fn bank_for(&self, line: u64) -> BankId {
+        self.bank_for_page(page_of_line(line))
+    }
+
+    /// The bank holding `page` under this descriptor.
+    #[inline]
+    pub fn bank_for_page(&self, page: PageId) -> BankId {
+        self.entries[(mix64(page.index() as u64) % DESCRIPTOR_ENTRIES as u64) as usize]
+    }
+
+    /// Per-bank capacity shares implied by the descriptor, sorted by bank.
+    pub fn shares(&self) -> Vec<(BankId, f64)> {
+        let mut counts: HashMap<BankId, usize> = HashMap::new();
+        for e in &self.entries {
+            *counts.entry(*e).or_default() += 1;
+        }
+        let mut out: Vec<(BankId, f64)> = counts
+            .into_iter()
+            .map(|(b, n)| (b, n as f64 / DESCRIPTOR_ENTRIES as f64))
+            .collect();
+        out.sort_by_key(|(b, _)| *b);
+        out
+    }
+
+    /// The set of banks with at least one entry.
+    pub fn banks(&self) -> Vec<BankId> {
+        let mut v: Vec<BankId> = self.entries.to_vec();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Fraction of descriptor entries that map to a different bank in
+    /// `other` — the fraction of the VC's lines that must be invalidated
+    /// and re-fetched after reconfiguration (the background walk of
+    /// Sec. IV-A "Coherence").
+    pub fn moved_fraction(&self, other: &PlacementDescriptor) -> f64 {
+        let moved = self
+            .entries
+            .iter()
+            .zip(other.entries.iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        moved as f64 / DESCRIPTOR_ENTRIES as f64
+    }
+}
+
+/// The per-core virtual-cache translation buffer: VC id → descriptor.
+///
+/// One VC per application suffices for this paper (Sec. IV-A), so VCs are
+/// keyed by [`AppId`].
+#[derive(Debug, Clone, Default)]
+pub struct Vtb {
+    descs: HashMap<AppId, PlacementDescriptor>,
+}
+
+impl Vtb {
+    /// An empty VTB.
+    pub fn new() -> Vtb {
+        Vtb::default()
+    }
+
+    /// Installs (or replaces) the descriptor for `vc`, returning the
+    /// fraction of lines moved relative to the previous descriptor
+    /// (1.0 for a fresh install — everything must be fetched anyway).
+    pub fn install(&mut self, vc: AppId, desc: PlacementDescriptor) -> f64 {
+        let moved = self
+            .descs
+            .get(&vc)
+            .map(|old| old.moved_fraction(&desc))
+            .unwrap_or(1.0);
+        self.descs.insert(vc, desc);
+        moved
+    }
+
+    /// The bank for `line` in virtual cache `vc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vc` has no installed descriptor — accessing an unmapped
+    /// VC is a simulator bug.
+    pub fn lookup(&self, vc: AppId, line: u64) -> BankId {
+        self.descs
+            .get(&vc)
+            .unwrap_or_else(|| panic!("no descriptor installed for {vc}"))
+            .bank_for(line)
+    }
+
+    /// The descriptor for `vc`, if installed.
+    pub fn descriptor(&self, vc: AppId) -> Option<&PlacementDescriptor> {
+        self.descs.get(&vc)
+    }
+
+    /// Number of installed descriptors.
+    pub fn len(&self) -> usize {
+        self.descs.len()
+    }
+
+    /// True if no descriptors are installed.
+    pub fn is_empty(&self) -> bool {
+        self.descs.is_empty()
+    }
+}
+
+/// A per-core translation lookaside buffer caching page entries (which
+/// carry the VC id in this design, Sec. IV-A).
+///
+/// Fully-associative with true-LRU replacement — small TLBs are built this
+/// way, and it keeps the model exact.
+///
+/// # Examples
+///
+/// ```
+/// use nuca_vc::Tlb;
+/// use nuca_types::PageId;
+/// let mut tlb = Tlb::new(2);
+/// assert!(!tlb.access(PageId(1))); // cold miss
+/// assert!(tlb.access(PageId(1))); // hit
+/// tlb.access(PageId(2));
+/// tlb.access(PageId(3)); // evicts page 1 (LRU)
+/// assert!(!tlb.access(PageId(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    capacity: usize,
+    /// MRU-first page stack.
+    entries: Vec<PageId>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with room for `capacity` page entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Tlb {
+        assert!(capacity > 0, "TLB needs at least one entry");
+        Tlb {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `page`, filling on a miss; returns whether it hit.
+    pub fn access(&mut self, page: PageId) -> bool {
+        if let Some(i) = self.entries.iter().position(|&p| p == page) {
+            self.entries.remove(i);
+            self.entries.insert(0, page);
+            self.hits += 1;
+            true
+        } else {
+            if self.entries.len() == self.capacity {
+                self.entries.pop();
+            }
+            self.entries.insert(0, page);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// TLB hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// TLB misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate over all accesses (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The OS page table fragment mapping pages to virtual caches.
+///
+/// In real hardware the VC id rides along in the TLB; the simulator only
+/// needs the mapping itself.
+#[derive(Debug, Clone, Default)]
+pub struct PageMap {
+    pages: HashMap<PageId, AppId>,
+}
+
+impl PageMap {
+    /// An empty page map.
+    pub fn new() -> PageMap {
+        PageMap::default()
+    }
+
+    /// Assigns `page` to `vc`, returning the previous owner if any (a page
+    /// changing VCs triggers the coherence walk).
+    pub fn assign(&mut self, page: PageId, vc: AppId) -> Option<AppId> {
+        self.pages.insert(page, vc)
+    }
+
+    /// The VC owning `page`, if mapped.
+    pub fn vc_of(&self, page: PageId) -> Option<AppId> {
+        self.pages.get(&page).copied()
+    }
+
+    /// Number of mapped pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True if no pages are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_descriptor_stripes_all_banks() {
+        let d = PlacementDescriptor::uniform(20);
+        let shares = d.shares();
+        assert_eq!(shares.len(), 20);
+        for (_, s) in &shares {
+            // 128/20 is not integral; shares are 6/128 or 7/128.
+            assert!(*s >= 6.0 / 128.0 - 1e-12 && *s <= 7.0 / 128.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn from_shares_apportions_entries() {
+        let d = PlacementDescriptor::from_shares(&[(BankId(1), 0.75), (BankId(2), 0.25)]);
+        let shares = d.shares();
+        assert_eq!(shares.len(), 2);
+        assert!((shares[0].1 - 0.75).abs() <= 1.0 / 128.0);
+        assert!((shares[1].1 - 0.25).abs() <= 1.0 / 128.0);
+        assert_eq!(d.banks(), vec![BankId(1), BankId(2)]);
+    }
+
+    #[test]
+    fn from_shares_normalizes_weights() {
+        let a = PlacementDescriptor::from_shares(&[(BankId(0), 3.0), (BankId(1), 1.0)]);
+        let b = PlacementDescriptor::from_shares(&[(BankId(0), 0.75), (BankId(1), 0.25)]);
+        assert_eq!(a.shares(), b.shares());
+    }
+
+    #[test]
+    fn bank_for_respects_shares_statistically() {
+        let d = PlacementDescriptor::from_shares(&[(BankId(5), 0.5), (BankId(9), 0.5)]);
+        let mut five = 0;
+        let n = 100_000u64;
+        for line in 0..n {
+            match d.bank_for(line) {
+                BankId(5) => five += 1,
+                BankId(9) => {}
+                other => panic!("unexpected bank {other}"),
+            }
+        }
+        let frac = five as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "got {frac}");
+    }
+
+    #[test]
+    fn moved_fraction_bounds() {
+        let a = PlacementDescriptor::uniform(20);
+        let b = PlacementDescriptor::uniform(20);
+        assert_eq!(a.moved_fraction(&b), 0.0);
+        let c = PlacementDescriptor::from_shares(&[(BankId(0), 1.0)]);
+        let full = a.moved_fraction(&c);
+        assert!(
+            full > 0.9,
+            "moving everything to one bank relocates most lines"
+        );
+    }
+
+    #[test]
+    fn vtb_install_reports_movement() {
+        let mut vtb = Vtb::new();
+        let first = vtb.install(AppId(0), PlacementDescriptor::uniform(4));
+        assert_eq!(first, 1.0);
+        let second = vtb.install(AppId(0), PlacementDescriptor::uniform(4));
+        assert_eq!(second, 0.0);
+        assert_eq!(vtb.len(), 1);
+        assert!(!vtb.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no descriptor installed")]
+    fn vtb_lookup_unmapped_panics() {
+        Vtb::new().lookup(AppId(3), 0);
+    }
+
+    #[test]
+    fn page_map_tracks_ownership() {
+        let mut pm = PageMap::new();
+        assert!(pm.is_empty());
+        assert_eq!(pm.assign(PageId(1), AppId(0)), None);
+        assert_eq!(pm.assign(PageId(1), AppId(2)), Some(AppId(0)));
+        assert_eq!(pm.vc_of(PageId(1)), Some(AppId(2)));
+        assert_eq!(pm.vc_of(PageId(9)), None);
+        assert_eq!(pm.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total")]
+    fn zero_shares_panic() {
+        PlacementDescriptor::from_shares(&[(BankId(0), 0.0)]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for placement descriptors and the VTB.
+
+use nuca_types::BankId;
+use nuca_vc::{PlacementDescriptor, Vtb, DESCRIPTOR_ENTRIES};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Descriptor shares always sum to exactly 1 and apportion within one
+    /// entry (1/128) of the requested weights.
+    #[test]
+    fn shares_apportion_weights(
+        weights in proptest::collection::vec(0.01f64..100.0, 1..20),
+    ) {
+        let shares: Vec<(BankId, f64)> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (BankId(i), w))
+            .collect();
+        let d = PlacementDescriptor::from_shares(&shares);
+        let got = d.shares();
+        let total: f64 = got.iter().map(|(_, s)| s).sum();
+        prop_assert!((total - 1.0).abs() < 1e-12);
+        let wsum: f64 = weights.iter().sum();
+        for (bank, share) in &got {
+            let want = weights[bank.index()] / wsum;
+            prop_assert!(
+                (share - want).abs() <= 1.0 / DESCRIPTOR_ENTRIES as f64 + 1e-12,
+                "bank {bank}: {share} vs {want}"
+            );
+        }
+    }
+
+    /// Every lookup lands in a bank that has a positive share.
+    #[test]
+    fn lookups_respect_support(
+        weights in proptest::collection::vec(0.0f64..10.0, 2..20),
+        lines in proptest::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        prop_assume!(weights.iter().any(|&w| w > 0.0));
+        let shares: Vec<(BankId, f64)> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (BankId(i), w))
+            .collect();
+        let d = PlacementDescriptor::from_shares(&shares);
+        for &line in &lines {
+            let bank = d.bank_for(line);
+            prop_assert!(weights[bank.index()] > 0.0, "line {line} in zero-share {bank}");
+        }
+    }
+
+    /// Reinstalling the same shares moves nothing; a disjoint placement
+    /// moves everything.
+    #[test]
+    fn moved_fraction_extremes(weights in proptest::collection::vec(0.5f64..10.0, 1..9)) {
+        let shares: Vec<(BankId, f64)> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (BankId(i), w))
+            .collect();
+        let a = PlacementDescriptor::from_shares(&shares);
+        let same = PlacementDescriptor::from_shares(&shares);
+        prop_assert_eq!(a.moved_fraction(&same), 0.0);
+        // Shift every bank id by 10: fully disjoint support.
+        let moved: Vec<(BankId, f64)> = shares
+            .iter()
+            .map(|&(b, w)| (BankId(b.index() + 10), w))
+            .collect();
+        let b = PlacementDescriptor::from_shares(&moved);
+        prop_assert_eq!(a.moved_fraction(&b), 1.0);
+    }
+
+    /// VTB lookups are deterministic and stable across reinstalls of the
+    /// same descriptor.
+    #[test]
+    fn vtb_lookup_stable(lines in proptest::collection::vec(0u64..100_000, 1..100)) {
+        let mut vtb = Vtb::new();
+        let d = PlacementDescriptor::uniform(20);
+        vtb.install(nuca_types::AppId(0), d.clone());
+        let first: Vec<BankId> = lines.iter().map(|&l| vtb.lookup(nuca_types::AppId(0), l)).collect();
+        let moved = vtb.install(nuca_types::AppId(0), d);
+        prop_assert_eq!(moved, 0.0);
+        let second: Vec<BankId> = lines.iter().map(|&l| vtb.lookup(nuca_types::AppId(0), l)).collect();
+        prop_assert_eq!(first, second);
+    }
+}

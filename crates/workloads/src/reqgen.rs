@@ -1,0 +1,105 @@
+//! Poisson request generation for latency-critical servers.
+//!
+//! TailBench's integrated client "issues a stream of requests with
+//! exponentially distributed interarrival times at a given rate" (Sec. VII);
+//! [`RequestGenerator`] reproduces that with a seeded RNG so every
+//! experiment is deterministic.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic Poisson arrival process in units of cycles.
+///
+/// # Examples
+///
+/// ```
+/// use nuca_workloads::RequestGenerator;
+/// let mut gen = RequestGenerator::new(1_000_000.0, 7);
+/// let a = gen.next_arrival();
+/// let b = gen.next_arrival();
+/// assert!(b > a, "arrivals are strictly increasing");
+/// ```
+#[derive(Debug, Clone)]
+pub struct RequestGenerator {
+    mean_interarrival: f64,
+    now: f64,
+    rng: SmallRng,
+}
+
+impl RequestGenerator {
+    /// Creates a generator with the given mean interarrival time (cycles)
+    /// and RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_interarrival` is not positive and finite.
+    pub fn new(mean_interarrival: f64, seed: u64) -> RequestGenerator {
+        assert!(
+            mean_interarrival.is_finite() && mean_interarrival > 0.0,
+            "mean interarrival must be positive"
+        );
+        RequestGenerator {
+            mean_interarrival,
+            now: 0.0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The next arrival time, in cycles since the start of the experiment.
+    pub fn next_arrival(&mut self) -> u64 {
+        // Inverse-CDF exponential sampling; clamp u away from 0.
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        self.now += -self.mean_interarrival * u.ln();
+        self.now as u64
+    }
+
+    /// Generates the first `n` arrival times.
+    pub fn arrivals(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.next_arrival()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_matches_rate() {
+        let mean = 50_000.0;
+        let mut gen = RequestGenerator::new(mean, 1);
+        let n = 20_000;
+        let arr = gen.arrivals(n);
+        let measured = *arr.last().unwrap() as f64 / n as f64;
+        assert!(
+            (measured - mean).abs() / mean < 0.05,
+            "measured mean {measured}"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = RequestGenerator::new(1000.0, 42).arrivals(100);
+        let b = RequestGenerator::new(1000.0, 42).arrivals(100);
+        assert_eq!(a, b);
+        let c = RequestGenerator::new(1000.0, 43).arrivals(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn interarrivals_are_exponential_ish() {
+        // Coefficient of variation of an exponential is 1.
+        let mut gen = RequestGenerator::new(10_000.0, 5);
+        let arr = gen.arrivals(20_000);
+        let gaps: Vec<f64> = arr.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.1, "cv = {cv}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_mean_panics() {
+        RequestGenerator::new(0.0, 1);
+    }
+}

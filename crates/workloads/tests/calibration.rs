@@ -1,0 +1,116 @@
+//! Calibration invariants across *all* workload profiles — the properties
+//! the evaluation's shapes depend on.
+
+use nuca_workloads::{spec2006, tailbench, LcLoad, StreamGenerator, MB};
+
+const FREQ: f64 = 2.66e9;
+const SNUCA_LAT: f64 = 36.0;
+const DNUCA_LAT: f64 = 19.0;
+const MISS_PEN: f64 = 140.0;
+
+#[test]
+fn every_lc_profile_saturates_when_starved() {
+    // The Fig. 8 mechanism must exist for every server: utilization at
+    // high load crosses ~0.8 somewhere below the deadline allocation.
+    for p in tailbench() {
+        let ia = p.interarrival_cycles(LcLoad::High, FREQ);
+        let rho_starved = p.service_cycles(SNUCA_LAT, p.shape.ratio(MB / 4), MISS_PEN) / ia;
+        assert!(
+            rho_starved > 0.65,
+            "{}: starved utilization only {rho_starved:.2}",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn dnuca_always_dominates_snuca_at_equal_allocation() {
+    for p in tailbench() {
+        for mb in [1u64, 2, 3] {
+            let mr = p.shape.ratio(mb * MB);
+            let s_d = p.service_cycles(DNUCA_LAT, mr, MISS_PEN);
+            let s_s = p.service_cycles(SNUCA_LAT, mr, MISS_PEN);
+            assert!(s_d < s_s, "{} at {mb} MB", p.name);
+        }
+    }
+}
+
+#[test]
+fn lc_access_rates_sit_below_batch_rates() {
+    // The paper's central asymmetry: LC servers generate several times
+    // less LLC traffic than batch applications (Sec. III), which is what
+    // lets Jigsaw starve them.
+    let max_lc = tailbench()
+        .iter()
+        .map(|p| p.access_rate(LcLoad::High, FREQ))
+        .fold(0.0f64, f64::max);
+    // Batch rate at a representative 1 GIPS.
+    let mean_batch: f64 = spec2006()
+        .iter()
+        .map(|p| 1.0e9 * p.llc_apki / 1000.0)
+        .sum::<f64>()
+        / 16.0;
+    assert!(
+        max_lc < mean_batch,
+        "max LC rate {max_lc:.2e} must be below mean batch rate {mean_batch:.2e}"
+    );
+}
+
+#[test]
+fn batch_profiles_have_steep_hot_sets() {
+    // Every non-streaming batch profile must gain meaningfully within its
+    // first megabyte (otherwise Lookahead goes winner-take-all and no
+    // design can help most apps).
+    for p in spec2006() {
+        let drop = p.shape.ratio(0) - p.shape.ratio(MB);
+        if p.name == "462.libquantum" {
+            assert_eq!(drop, 0.0, "libquantum is pure streaming");
+        } else {
+            assert!(drop > 0.1, "{}: first-MB drop only {drop:.3}", p.name);
+        }
+    }
+}
+
+#[test]
+fn batch_cpi_ordering_is_sane() {
+    // Memory-bound profiles must run slower than cache-friendly ones at
+    // identical cache conditions.
+    let specs = spec2006();
+    let cpi = |name: &str| {
+        let p = specs.iter().find(|p| p.name == name).unwrap();
+        p.cpi(33.0, p.shape.ratio(MB), 131.0)
+    };
+    assert!(cpi("429.mcf") > 2.0 * cpi("454.calculix"));
+    assert!(cpi("470.lbm") > cpi("401.bzip2"));
+}
+
+#[test]
+fn stream_generators_exist_for_every_profile() {
+    // Every profile (batch and LC) must be realizable as an address stream
+    // for the detailed simulator.
+    for (i, p) in spec2006().iter().enumerate() {
+        let mut g = StreamGenerator::from_shape(&p.shape, 64, i, 1);
+        assert_eq!(g.lines(100).len(), 100, "{}", p.name);
+    }
+    for (i, p) in tailbench().iter().enumerate() {
+        let mut g = StreamGenerator::from_shape(&p.shape, 64, 100 + i, 1);
+        assert_eq!(g.lines(100).len(), 100, "{}", p.name);
+    }
+}
+
+#[test]
+fn deadline_operating_point_leaves_headroom_for_growth() {
+    // The controller must be able to fix a violation by growing: at the
+    // max allocation (LLC/4 = 5 MB) utilization must be comfortably lower
+    // than at the 2.5 MB deadline point.
+    for p in tailbench() {
+        let ia = p.interarrival_cycles(LcLoad::High, FREQ);
+        let rho_deadline = p.service_cycles(SNUCA_LAT, p.shape.ratio(5 * MB / 2), MISS_PEN) / ia;
+        let rho_max = p.service_cycles(SNUCA_LAT, p.shape.ratio(5 * MB), MISS_PEN) / ia;
+        assert!(
+            rho_max < rho_deadline - 0.005,
+            "{}: growing from 2.5 to 5 MB must help ({rho_deadline:.3} -> {rho_max:.3})",
+            p.name
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests over the placement algorithms: for arbitrary
+//! (well-formed) inputs, every design must produce capacity-conserving
+//! allocations, Jumanji must isolate VMs, and the controller-assigned
+//! latency-critical sizes must be honoured.
+
+use jumanji::cache::MissCurve;
+use jumanji::core::{AppKind, AppModel, DesignKind, PlacementInput};
+use jumanji::prelude::*;
+use jumanji::types::{AppId, BankId, CoreId, VmId};
+use proptest::prelude::*;
+
+const MB: f64 = 1048576.0;
+
+/// Builds a random but well-formed placement input: 4 VMs in quadrants,
+/// per-app random working sets, rates, and LC sizes.
+fn arb_input() -> impl Strategy<Value = PlacementInput> {
+    let app = (10.0f64..200.0, 1.0f64..30.0, 0.2f64..1.0);
+    (
+        proptest::collection::vec(app, 20),
+        proptest::collection::vec(0.5f64..4.5, 4),
+    )
+        .prop_map(|(apps_params, lc_sizes_mb)| {
+            let cfg = SystemConfig::micro2020();
+            let unit = cfg.llc.way_bytes();
+            let units = cfg.llc.total_ways() as usize;
+            let quadrants: [[usize; 5]; 4] = [
+                [0, 1, 5, 6, 2],
+                [4, 3, 9, 8, 7],
+                [15, 16, 10, 11, 12],
+                [19, 18, 14, 13, 17],
+            ];
+            let mut apps = Vec::new();
+            let mut lc_sizes = Vec::new();
+            for (vm, cores) in quadrants.iter().enumerate() {
+                for (i, &core) in cores.iter().enumerate() {
+                    let id = AppId(apps.len());
+                    let (ws_units, rate_scale, drop) = apps_params[apps.len()];
+                    let kind = if i == 0 {
+                        AppKind::LatencyCritical
+                    } else {
+                        AppKind::Batch
+                    };
+                    let pts: Vec<f64> = (0..=units)
+                        .map(|u| {
+                            let base = 1e7 * rate_scale;
+                            base * (1.0 - drop) + base * drop / (1.0 + u as f64 / ws_units)
+                        })
+                        .collect();
+                    apps.push(AppModel {
+                        id,
+                        vm: VmId(vm),
+                        core: CoreId(core),
+                        kind,
+                        curve: MissCurve::new(unit, pts).convex_hull(),
+                        access_rate: 1e7 * rate_scale,
+                    });
+                    lc_sizes.push(if kind == AppKind::LatencyCritical {
+                        lc_sizes_mb[vm] * MB
+                    } else {
+                        0.0
+                    });
+                }
+            }
+            PlacementInput {
+                cfg,
+                apps,
+                lc_sizes,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_design_conserves_capacity(input in arb_input()) {
+        for design in DesignKind::all() {
+            let alloc = design.allocate(&input);
+            prop_assert!(alloc.validate(&input.cfg).is_ok(), "{design}");
+        }
+    }
+
+    #[test]
+    fn jumanji_always_isolates_vms(input in arb_input()) {
+        let alloc = DesignKind::Jumanji.allocate(&input);
+        prop_assert!(alloc.vm_isolated(&input));
+        // Every app's vulnerability is exactly zero.
+        for a in &input.apps {
+            prop_assert_eq!(alloc.attackers(&input, a.id), 0.0);
+        }
+    }
+
+    #[test]
+    fn tail_aware_designs_honour_lc_sizes(input in arb_input()) {
+        for design in [DesignKind::Adaptive, DesignKind::VmPart, DesignKind::Jumanji] {
+            let alloc = design.allocate(&input);
+            for a in &input.apps {
+                if a.kind == AppKind::LatencyCritical {
+                    let got = alloc.of(a.id).total_bytes();
+                    let want = input.lc_size(a.id);
+                    prop_assert!(
+                        (got - want).abs() < 1.0,
+                        "{design}: {} got {got} wanted {want}", a.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dnuca_designs_place_closer_than_snuca(input in arb_input()) {
+        let snuca = DesignKind::Adaptive.allocate(&input);
+        let jumanji = DesignKind::Jumanji.allocate(&input);
+        let avg = |alloc: &jumanji::core::Allocation| -> f64 {
+            input
+                .apps
+                .iter()
+                .map(|a| alloc.avg_distance(&input, a.id))
+                .sum::<f64>()
+                / input.apps.len() as f64
+        };
+        prop_assert!(avg(&jumanji) < avg(&snuca));
+    }
+
+    #[test]
+    fn whole_llc_is_allocated_by_jumanji(input in arb_input()) {
+        let alloc = DesignKind::Jumanji.allocate(&input);
+        let total: f64 = input
+            .apps
+            .iter()
+            .map(|a| alloc.of(a.id).total_bytes())
+            .sum();
+        let llc = input.cfg.llc.total_bytes() as f64;
+        // Sub-unit rounding slack only.
+        prop_assert!(total > 0.97 * llc, "allocated {total} of {llc}");
+    }
+
+    #[test]
+    fn occupants_reflect_placements(input in arb_input()) {
+        let alloc = DesignKind::Jigsaw.allocate(&input);
+        for bank in 0..input.cfg.llc.num_banks {
+            for app in alloc.occupants(BankId(bank)) {
+                let holds = alloc
+                    .placement_of(app)
+                    .iter()
+                    .any(|(b, bytes)| b.index() == bank && *bytes > 0.0);
+                prop_assert!(holds);
+            }
+        }
+    }
+}
