@@ -13,11 +13,13 @@
 use jumanji::core::jumanji_with_trades;
 use jumanji::prelude::*;
 use jumanji::sim::metrics::gmean;
+use jumanji_bench::exec::{parallel_map, thread_count};
 use jumanji_bench::mix_count;
 
 fn main() {
     let mixes = mix_count(6);
     let opts = SimOptions::default();
+    let threads = thread_count();
 
     // 1. Trade refinement on static placement problems.
     let cfg = SystemConfig::micro2020();
@@ -48,23 +50,22 @@ fn main() {
     );
     println!("# expected: few accepts, marginal distance change (the paper omitted trades).\n");
 
-    // 2-3. Isolation and ideality costs over random mixes.
-    let mut jumanji_s = Vec::new();
-    let mut insecure_s = Vec::new();
-    let mut ideal_s = Vec::new();
-    for seed in 0..mixes as u64 {
-        let exp = Experiment::new(case_study_mix(seed), LcLoad::High, opts.clone());
+    // 2-3. Isolation and ideality costs over random mixes, one seed per
+    // worker-pool job.
+    let per_seed = parallel_map(mixes, threads, |seed| {
+        let exp = Experiment::new(case_study_mix(seed as u64), LcLoad::High, opts.clone());
         let stat = exp.run(DesignKind::Static);
-        jumanji_s.push(exp.run(DesignKind::Jumanji).weighted_speedup_vs(&stat));
-        insecure_s.push(
+        (
+            exp.run(DesignKind::Jumanji).weighted_speedup_vs(&stat),
             exp.run(DesignKind::JumanjiInsecure)
                 .weighted_speedup_vs(&stat),
-        );
-        ideal_s.push(
             exp.run(DesignKind::JumanjiIdealBatch)
                 .weighted_speedup_vs(&stat),
-        );
-    }
+        )
+    });
+    let jumanji_s: Vec<f64> = per_seed.iter().map(|r| r.0).collect();
+    let insecure_s: Vec<f64> = per_seed.iter().map(|r| r.1).collect();
+    let ideal_s: Vec<f64> = per_seed.iter().map(|r| r.2).collect();
     println!("# Ablation 2-3: isolation and greedy-placement costs ({mixes} mixes)");
     println!(
         "isolation\tjumanji {:+.2}% vs insecure {:+.2}% (cost {:.2} pp)",
@@ -86,21 +87,22 @@ fn main() {
         panic_threshold: f64::MAX,
         ..ControllerParams::micro2020(llc)
     };
-    let mut with_t: f64 = 0.0;
-    let mut without_t: f64 = 0.0;
-    for seed in 0..mixes as u64 {
-        let exp = Experiment::new(case_study_mix(seed), LcLoad::High, opts.clone());
-        with_t = with_t.max(exp.run(DesignKind::Jumanji).max_norm_tail());
+    let tails = parallel_map(mixes, threads, |seed| {
+        let exp = Experiment::new(case_study_mix(seed as u64), LcLoad::High, opts.clone());
+        let with_t = exp.run(DesignKind::Jumanji).max_norm_tail();
         let exp2 = Experiment::new(
-            case_study_mix(seed),
+            case_study_mix(seed as u64),
             LcLoad::High,
             SimOptions {
                 controller: Some(no_panic),
                 ..opts.clone()
             },
         );
-        without_t = without_t.max(exp2.run(DesignKind::Jumanji).max_norm_tail());
-    }
+        let without_t = exp2.run(DesignKind::Jumanji).max_norm_tail();
+        (with_t, without_t)
+    });
+    let with_t = tails.iter().map(|t| t.0).fold(0.0f64, f64::max);
+    let without_t = tails.iter().map(|t| t.1).fold(0.0f64, f64::max);
     println!("# Ablation 4: controller panic boost");
     println!("panic\tworst norm tail with panic: {with_t:.2}, without: {without_t:.2}");
     println!("# expected: disabling the panic worsens worst-case tails (queueing spikes");

@@ -5,7 +5,7 @@
 //! Box-and-whisker rows: min, q1, median, q3, max over mixes.
 
 use jumanji::prelude::*;
-use jumanji_bench::{mix_count, run_matrix, BoxStats, LcGroup, PAPER_MIXES};
+use jumanji_bench::{mix_count, run_matrices, BoxStats, LcGroup, PAPER_MIXES};
 
 fn main() {
     let mixes = mix_count(PAPER_MIXES);
@@ -13,40 +13,44 @@ fn main() {
     let opts = SimOptions::default();
     println!("# Fig. 13: tail latency + batch speedup over {mixes} random mixes");
     println!("group\tload\tdesign\tmetric\tmin\tq1\tmedian\tq3\tmax");
-    for load in [LcLoad::High, LcLoad::Low] {
+    // All (load, group) matrices go through one fan-out so every worker
+    // stays busy even at small mix counts.
+    let matrices: Vec<(LcGroup, LcLoad)> = [LcLoad::High, LcLoad::Low]
+        .into_iter()
+        .flat_map(|load| LcGroup::all().into_iter().map(move |g| (g, load)))
+        .collect();
+    let results = run_matrices(&matrices, &designs, mixes, &opts);
+    for ((group, load), cells) in matrices.iter().zip(&results) {
         let load_label = match load {
             LcLoad::High => "high",
             LcLoad::Low => "low",
         };
-        for group in LcGroup::all() {
-            let cells = run_matrix(group, load, &designs, mixes, &opts);
-            for (design, cell) in designs.iter().zip(&cells) {
-                println!(
-                    "{}\t{}\t{}\tnorm_tail\t{}",
-                    group.label(),
-                    load_label,
-                    design,
-                    BoxStats::of(&cell.norm_tails).tsv()
-                );
-                println!(
-                    "{}\t{}\t{}\tspeedup\t{}",
-                    group.label(),
-                    load_label,
-                    design,
-                    BoxStats::of(&cell.speedups).tsv()
-                );
-            }
-            // Per-group gmean summary (quoted in the text).
-            for (design, cell) in designs.iter().zip(&cells) {
-                eprintln!(
-                    "[summary] {} {} {}: gmean speedup {:+.1}%, median norm tail {:.2}",
-                    group.label(),
-                    load_label,
-                    design,
-                    (cell.gmean_speedup() - 1.0) * 100.0,
-                    BoxStats::of(&cell.norm_tails).median
-                );
-            }
+        for (design, cell) in designs.iter().zip(cells) {
+            println!(
+                "{}\t{}\t{}\tnorm_tail\t{}",
+                group.label(),
+                load_label,
+                design,
+                BoxStats::of(&cell.norm_tails).tsv()
+            );
+            println!(
+                "{}\t{}\t{}\tspeedup\t{}",
+                group.label(),
+                load_label,
+                design,
+                BoxStats::of(&cell.speedups).tsv()
+            );
+        }
+        // Per-group gmean summary (quoted in the text).
+        for (design, cell) in designs.iter().zip(cells) {
+            eprintln!(
+                "[summary] {} {} {}: gmean speedup {:+.1}%, median norm tail {:.2}",
+                group.label(),
+                load_label,
+                design,
+                (cell.gmean_speedup() - 1.0) * 100.0,
+                BoxStats::of(&cell.norm_tails).median
+            );
         }
     }
     println!("# expected: Adaptive/VM-Part/Jumanji norm tails ~<=1 (rare exceptions);");

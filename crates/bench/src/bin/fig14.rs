@@ -3,19 +3,21 @@
 //! experiments.
 
 use jumanji::prelude::*;
-use jumanji_bench::{mix_count, run_matrix, LcGroup};
+use jumanji_bench::{mix_count, run_matrices, LcGroup};
 
 fn main() {
     let mixes = mix_count(8);
     let designs = DesignKind::main_four();
     let opts = SimOptions::default();
+    let matrices: Vec<(LcGroup, LcLoad)> = [LcLoad::High, LcLoad::Low]
+        .into_iter()
+        .flat_map(|load| LcGroup::all().into_iter().map(move |g| (g, load)))
+        .collect();
+    let results = run_matrices(&matrices, &designs, mixes, &opts);
     let mut acc = vec![Vec::new(); designs.len()];
-    for load in [LcLoad::High, LcLoad::Low] {
-        for group in LcGroup::all() {
-            let cells = run_matrix(group, load, &designs, mixes, &opts);
-            for (d, cell) in cells.iter().enumerate() {
-                acc[d].extend(cell.vulnerability.iter().copied());
-            }
+    for cells in &results {
+        for (d, cell) in cells.iter().enumerate() {
+            acc[d].extend(cell.vulnerability.iter().copied());
         }
     }
     println!("# Fig. 14: avg potential attackers per LLC access ({mixes} mixes/group)");

@@ -2,7 +2,7 @@
 //! L1 / L2 / LLC banks / NoC / memory, normalized to Static.
 
 use jumanji::prelude::*;
-use jumanji_bench::{mix_count, run_matrix, LcGroup};
+use jumanji_bench::{mix_count, run_matrices, LcGroup};
 
 fn main() {
     let mixes = mix_count(8);
@@ -18,15 +18,19 @@ fn main() {
     println!("group\tdesign\tl1\tl2\tllc\tnoc\tmem\ttotal");
     let mut totals = vec![0.0f64; designs.len()];
     let mut static_total = 0.0f64;
-    for group in LcGroup::all() {
-        let cells = run_matrix(group, LcLoad::High, &designs, mixes, &opts);
+    let matrices: Vec<(LcGroup, LcLoad)> = LcGroup::all()
+        .into_iter()
+        .map(|g| (g, LcLoad::High))
+        .collect();
+    let results = run_matrices(&matrices, &designs, mixes, &opts);
+    for ((group, _), cells) in matrices.iter().zip(&results) {
         // Per-group Static baseline for normalization.
         let base: f64 = cells[0]
             .energy
             .iter()
             .map(|(a, b, c, d, e)| a + b + c + d + e)
             .sum();
-        for (d, (design, cell)) in designs.iter().zip(&cells).enumerate() {
+        for (d, (design, cell)) in designs.iter().zip(cells).enumerate() {
             let sum = |f: fn(&(f64, f64, f64, f64, f64)) -> f64| -> f64 {
                 cell.energy.iter().map(f).sum::<f64>() / base
             };

@@ -4,7 +4,7 @@
 //! low load.
 
 use jumanji::prelude::*;
-use jumanji_bench::{mix_count, run_matrix, LcGroup};
+use jumanji_bench::{mix_count, run_matrices, LcGroup};
 
 fn main() {
     let mixes = mix_count(8);
@@ -16,15 +16,21 @@ fn main() {
     let opts = SimOptions::default();
     println!("# Fig. 16: Jumanji vs Insecure vs Ideal Batch ({mixes} mixes/group)");
     println!("load\tgroup\tjumanji_pct\tinsecure_pct\tideal_pct");
-    for load in [LcLoad::High, LcLoad::Low] {
+    let loads = [LcLoad::High, LcLoad::Low];
+    let matrices: Vec<(LcGroup, LcLoad)> = loads
+        .into_iter()
+        .flat_map(|load| LcGroup::all().into_iter().map(move |g| (g, load)))
+        .collect();
+    let results = run_matrices(&matrices, &designs, mixes, &opts);
+    let groups_per_load = LcGroup::all().len();
+    for (load, chunk) in loads.iter().zip(results.chunks(groups_per_load)) {
         let label = match load {
             LcLoad::High => "high",
             LcLoad::Low => "low",
         };
         let mut sums = [0.0f64; 3];
         let mut count = 0.0;
-        for group in LcGroup::all() {
-            let cells = run_matrix(group, load, &designs, mixes, &opts);
+        for (group, cells) in LcGroup::all().iter().zip(chunk) {
             let g: Vec<f64> = cells
                 .iter()
                 .map(|c| (c.gmean_speedup() - 1.0) * 100.0)

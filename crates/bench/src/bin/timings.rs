@@ -1,0 +1,107 @@
+//! Times the experiment-heavy figure binaries and writes `BENCH_suite.json`
+//! at the repo root (or the directory given with `--out DIR`).
+//!
+//! Each binary runs with `--mixes 4` so the suite finishes in minutes while
+//! still exercising the full mix × design fan-out. If a `BENCH_baseline.json`
+//! with the same schema exists next to the output (e.g., measured on an
+//! older tree), the report includes the combined speedup against it.
+//!
+//! Usage: `timings [--out DIR] [--threads N]` (`--threads` is forwarded to
+//! the figure binaries).
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::Instant;
+
+use jumanji_bench::exec::{flag_value, thread_count};
+
+/// The binaries whose wall-clock the suite tracks, in run order.
+const SUITE: &[&str] = &[
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "sensitivity",
+    "ablation",
+];
+
+/// Mix count forwarded to every binary: small enough for a quick suite,
+/// large enough to exercise the fan-out.
+const SUITE_MIXES: usize = 4;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_dir = flag_value(&args, "--out").map_or_else(|| PathBuf::from("."), PathBuf::from);
+    let threads = thread_count();
+
+    let bin_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("binaries live in a directory")
+        .to_path_buf();
+
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    for name in SUITE {
+        let t = Instant::now();
+        let status = Command::new(bin_dir.join(name))
+            .args(["--mixes", &SUITE_MIXES.to_string()])
+            .args(["--threads", &threads.to_string()])
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
+        assert!(status.success(), "{name} exited with {status}");
+        let secs = t.elapsed().as_secs_f64();
+        eprintln!("{name}: {secs:.2}s");
+        rows.push((name.to_string(), secs));
+    }
+    let total: f64 = rows.iter().map(|(_, s)| s).sum();
+    eprintln!("total: {total:.2}s");
+
+    let baseline = read_baseline(&out_dir.join("BENCH_baseline.json"));
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"mixes\": {SUITE_MIXES},\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str("  \"binaries\": {\n");
+    for (i, (name, secs)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    \"{name}\": {{ \"seconds\": {secs:.3} }}{comma}\n"
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!("  \"total_seconds\": {total:.3}"));
+    if let Some(base_total) = baseline {
+        json.push_str(&format!(
+            ",\n  \"baseline_total_seconds\": {base_total:.3},\n  \"speedup_vs_baseline\": {:.2}",
+            base_total / total
+        ));
+        eprintln!("speedup vs baseline: {:.2}x", base_total / total);
+    }
+    json.push_str("\n}\n");
+
+    let out_path = out_dir.join("BENCH_suite.json");
+    let mut f = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", out_path.display()));
+    f.write_all(json.as_bytes()).expect("write suite report");
+    eprintln!("wrote {}", out_path.display());
+}
+
+/// Pulls `total_seconds` out of a baseline report, if one exists.
+///
+/// The file is our own schema, so a full JSON parser would be overkill
+/// (and the container bakes in no JSON crate): scan for the key and parse
+/// the number after the colon.
+fn read_baseline(path: &Path) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let key = "\"total_seconds\":";
+    let at = text.find(key)? + key.len();
+    let rest = &text[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == ' ' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}

@@ -1,0 +1,160 @@
+//! Parallel experiment-execution engine.
+//!
+//! The figure binaries fan out over hundreds of independent
+//! `(group, load, mix, design)` cells; each cell is seconds of pure CPU
+//! with no shared state, so they parallelize embarrassingly well. This
+//! module provides the machinery:
+//!
+//! - [`parallel_map`] — an order-preserving indexed map over a scoped
+//!   thread pool (work-stealing via an atomic index; no dependencies, no
+//!   unsafe code).
+//! - [`thread_count`] / [`resolve_count`] / [`flag_value`] — worker-count
+//!   and knob resolution (`--flag N` beats the env var beats the default).
+//!
+//! Determinism: every job derives its RNG streams from its own index, and
+//! results land in slots addressed by that index, so output is
+//! byte-identical no matter how many workers run or how the scheduler
+//! interleaves them. `--threads 1` is the reference serial order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Returns the argument following `flag` (e.g., `--mixes`) in `args`.
+///
+/// `args` is an argv-style slice; the value is whatever token follows the
+/// flag, if any.
+pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    args.get(pos + 1).cloned()
+}
+
+/// Resolves a count knob with CLI-beats-env-beats-default precedence.
+///
+/// A present-but-unparseable source falls through to the next one, so a
+/// typo degrades gracefully instead of silently meaning something else.
+pub fn resolve_count(flag: Option<&str>, env: Option<&str>, default: usize) -> usize {
+    flag.and_then(|v| v.parse().ok())
+        .or_else(|| env.and_then(|v| v.parse().ok()))
+        .unwrap_or(default)
+}
+
+/// Number of worker threads: `--threads N`, then `JUMANJI_THREADS`, then
+/// the machine's available parallelism.
+pub fn thread_count() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let default = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    resolve_count(
+        flag_value(&args, "--threads").as_deref(),
+        std::env::var("JUMANJI_THREADS").ok().as_deref(),
+        default,
+    )
+    .max(1)
+}
+
+/// Maps `f` over `0..n` on up to `threads` workers, returning results in
+/// index order.
+///
+/// Jobs are handed out through a shared atomic counter (natural work
+/// stealing: a worker that finishes a cheap cell immediately grabs the
+/// next), and each result is stored in the slot of its index, so the
+/// output `Vec` is identical to the serial `(0..n).map(f).collect()` —
+/// only wall-clock changes with `threads`.
+///
+/// # Panics
+///
+/// Propagates a panic from any job after the scope unwinds.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.min(n).max(1);
+    if workers == 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(i);
+                    *slots[i].lock().expect("slot lock") = Some(r);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("experiment worker panicked");
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot lock")
+                .expect("every job ran exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_value_finds_following_token() {
+        let args = argv(&["prog", "--mixes", "7", "--threads", "3"]);
+        assert_eq!(flag_value(&args, "--mixes").as_deref(), Some("7"));
+        assert_eq!(flag_value(&args, "--threads").as_deref(), Some("3"));
+        assert_eq!(flag_value(&args, "--other"), None);
+        // Trailing flag with no value.
+        let args = argv(&["prog", "--mixes"]);
+        assert_eq!(flag_value(&args, "--mixes"), None);
+    }
+
+    #[test]
+    fn resolve_count_precedence_flag_env_default() {
+        assert_eq!(resolve_count(Some("4"), Some("9"), 2), 4);
+        assert_eq!(resolve_count(None, Some("9"), 2), 9);
+        assert_eq!(resolve_count(None, None, 2), 2);
+        // Unparseable sources fall through.
+        assert_eq!(resolve_count(Some("x"), Some("9"), 2), 9);
+        assert_eq!(resolve_count(Some("x"), Some("y"), 2), 2);
+    }
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        for threads in [1, 2, 4, 7] {
+            let out = parallel_map(23, threads, |i| i * i);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn parallel_map_runs_every_job_once() {
+        use std::sync::atomic::AtomicUsize;
+        let calls = AtomicUsize::new(0);
+        let out = parallel_map(50, 4, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 50);
+        assert_eq!(out.len(), 50);
+    }
+}

@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exec;
+
 use jumanji::prelude::*;
 use jumanji::sim::metrics::gmean;
 
@@ -19,15 +21,11 @@ pub const PAPER_MIXES: usize = 40;
 /// `JUMANJI_MIXES` env var, or defaults to `default`.
 pub fn mix_count(default: usize) -> usize {
     let args: Vec<String> = std::env::args().collect();
-    if let Some(pos) = args.iter().position(|a| a == "--mixes") {
-        if let Some(n) = args.get(pos + 1).and_then(|v| v.parse().ok()) {
-            return n;
-        }
-    }
-    std::env::var("JUMANJI_MIXES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    exec::resolve_count(
+        exec::flag_value(&args, "--mixes").as_deref(),
+        std::env::var("JUMANJI_MIXES").ok().as_deref(),
+        default,
+    )
 }
 
 /// Five-number summary for box-and-whisker figures.
@@ -82,7 +80,7 @@ impl BoxStats {
 
 /// Result of running one (workload group, load, design) cell of Fig. 13:
 /// distributions over mixes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignCell {
     /// Worst LC normalized tail latency per mix.
     pub norm_tails: Vec<f64>,
@@ -95,6 +93,24 @@ pub struct DesignCell {
 }
 
 impl DesignCell {
+    /// An empty cell with room for `mixes` entries per metric.
+    pub fn with_capacity(mixes: usize) -> DesignCell {
+        DesignCell {
+            norm_tails: Vec::with_capacity(mixes),
+            speedups: Vec::with_capacity(mixes),
+            vulnerability: Vec::with_capacity(mixes),
+            energy: Vec::with_capacity(mixes),
+        }
+    }
+
+    /// Appends one mix's metrics.
+    pub fn push(&mut self, m: &MixMetrics) {
+        self.norm_tails.push(m.norm_tail);
+        self.speedups.push(m.speedup);
+        self.vulnerability.push(m.vulnerability);
+        self.energy.push(m.energy);
+    }
+
     /// Geometric-mean speedup over mixes.
     pub fn gmean_speedup(&self) -> f64 {
         gmean(&self.speedups)
@@ -103,6 +119,31 @@ impl DesignCell {
     /// Mean vulnerability over mixes.
     pub fn mean_vulnerability(&self) -> f64 {
         self.vulnerability.iter().sum::<f64>() / self.vulnerability.len() as f64
+    }
+}
+
+/// Metrics of one design on one mix (one column entry of a [`DesignCell`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixMetrics {
+    /// Worst LC normalized tail latency.
+    pub norm_tail: f64,
+    /// Batch weighted speedup vs. the Static baseline.
+    pub speedup: f64,
+    /// Mean vulnerability.
+    pub vulnerability: f64,
+    /// Energy per instruction `(l1, l2, llc, noc, mem)`.
+    pub energy: (f64, f64, f64, f64, f64),
+}
+
+impl MixMetrics {
+    fn of(r: &ExperimentResult, baseline: &ExperimentResult) -> MixMetrics {
+        let e = r.energy_per_instruction();
+        MixMetrics {
+            norm_tail: r.max_norm_tail(),
+            speedup: r.weighted_speedup_vs(baseline),
+            vulnerability: r.vulnerability,
+            energy: (e.l1, e.l2, e.llc, e.noc, e.mem),
+        }
     }
 }
 
@@ -151,11 +192,37 @@ impl LcGroup {
     }
 }
 
+/// Runs every design on one `(group, load)` mix, sharing a single Static
+/// baseline run. Returns per-design metrics in `designs` order.
+///
+/// Seed derivation matches the serial harness exactly
+/// (`opts.seed ^ seed · 0x9E37_79B9`), so this is safe to fan out across
+/// threads: each mix's RNG streams depend only on its own seed.
+pub fn run_mix(
+    group: LcGroup,
+    load: LcLoad,
+    designs: &[DesignKind],
+    seed: u64,
+    opts: &SimOptions,
+) -> Vec<MixMetrics> {
+    let mut opts = opts.clone();
+    opts.seed ^= seed.wrapping_mul(0x9E37_79B9);
+    let exp = Experiment::new(group.mix(seed), load, opts);
+    let baseline = exp.run(DesignKind::Static);
+    designs
+        .iter()
+        .map(|&design| {
+            if design == DesignKind::Static {
+                MixMetrics::of(&baseline, &baseline)
+            } else {
+                MixMetrics::of(&exp.run(design), &baseline)
+            }
+        })
+        .collect()
+}
+
 /// Runs `design` and the Static baseline over `mixes` random mixes of one
 /// workload group at one load, collecting the Fig. 13 distributions.
-///
-/// Baseline runs are cached across designs by the caller if needed; this
-/// function runs them inline for simplicity.
 pub fn run_cell(
     group: LcGroup,
     load: LcLoad,
@@ -163,29 +230,14 @@ pub fn run_cell(
     mixes: usize,
     opts: &SimOptions,
 ) -> DesignCell {
-    let mut cell = DesignCell {
-        norm_tails: Vec::with_capacity(mixes),
-        speedups: Vec::with_capacity(mixes),
-        vulnerability: Vec::with_capacity(mixes),
-        energy: Vec::with_capacity(mixes),
-    };
-    for seed in 0..mixes as u64 {
-        let mut opts = opts.clone();
-        opts.seed ^= seed.wrapping_mul(0x9E37_79B9);
-        let exp = Experiment::new(group.mix(seed), load, opts);
-        let baseline = exp.run(DesignKind::Static);
-        let r = exp.run(design);
-        cell.norm_tails.push(r.max_norm_tail());
-        cell.speedups.push(r.weighted_speedup_vs(&baseline));
-        cell.vulnerability.push(r.vulnerability);
-        let e = r.energy_per_instruction();
-        cell.energy.push((e.l1, e.l2, e.llc, e.noc, e.mem));
-    }
-    cell
+    run_matrix(group, load, &[design], mixes, opts)
+        .pop()
+        .expect("one design in, one cell out")
 }
 
 /// Runs every design (plus baseline) over mixes, returning per-design
-/// cells in `designs` order — shares the Static baseline across designs.
+/// cells in `designs` order — shares the Static baseline across designs
+/// and fans mixes across [`exec::thread_count`] workers.
 pub fn run_matrix(
     group: LcGroup,
     load: LcLoad,
@@ -193,31 +245,53 @@ pub fn run_matrix(
     mixes: usize,
     opts: &SimOptions,
 ) -> Vec<DesignCell> {
-    let mut cells: Vec<DesignCell> = designs
-        .iter()
-        .map(|_| DesignCell {
-            norm_tails: Vec::with_capacity(mixes),
-            speedups: Vec::with_capacity(mixes),
-            vulnerability: Vec::with_capacity(mixes),
-            energy: Vec::with_capacity(mixes),
-        })
+    run_matrix_threads(group, load, designs, mixes, opts, exec::thread_count())
+}
+
+/// [`run_matrix`] with an explicit worker count (`1` = reference serial
+/// order; any other count produces identical results).
+pub fn run_matrix_threads(
+    group: LcGroup,
+    load: LcLoad,
+    designs: &[DesignKind],
+    mixes: usize,
+    opts: &SimOptions,
+    threads: usize,
+) -> Vec<DesignCell> {
+    let per_mix = exec::parallel_map(mixes, threads, |seed| {
+        run_mix(group, load, designs, seed as u64, opts)
+    });
+    collect_cells(designs.len(), mixes, &per_mix)
+}
+
+/// Runs a whole batch of `(group, load)` matrices in one thread-pool
+/// fan-out, so parallelism spans cells as well as mixes (a figure run with
+/// `--mixes 4` still keeps every worker busy). Returns one `Vec<DesignCell>`
+/// per input matrix, in order, each identical to a [`run_matrix`] call.
+pub fn run_matrices(
+    matrices: &[(LcGroup, LcLoad)],
+    designs: &[DesignKind],
+    mixes: usize,
+    opts: &SimOptions,
+) -> Vec<Vec<DesignCell>> {
+    let per_job = exec::parallel_map(matrices.len() * mixes, exec::thread_count(), |i| {
+        let (group, load) = matrices[i / mixes];
+        run_mix(group, load, designs, (i % mixes) as u64, opts)
+    });
+    per_job
+        .chunks(mixes)
+        .map(|chunk| collect_cells(designs.len(), mixes, chunk))
+        .collect()
+}
+
+/// Transposes per-mix metric rows into per-design cells.
+fn collect_cells(designs: usize, mixes: usize, per_mix: &[Vec<MixMetrics>]) -> Vec<DesignCell> {
+    let mut cells: Vec<DesignCell> = (0..designs)
+        .map(|_| DesignCell::with_capacity(mixes))
         .collect();
-    for seed in 0..mixes as u64 {
-        let mut opts = opts.clone();
-        opts.seed ^= seed.wrapping_mul(0x9E37_79B9);
-        let exp = Experiment::new(group.mix(seed), load, opts);
-        let baseline = exp.run(DesignKind::Static);
-        for (d, design) in designs.iter().enumerate() {
-            let r = if *design == DesignKind::Static {
-                baseline.clone()
-            } else {
-                exp.run(*design)
-            };
-            cells[d].norm_tails.push(r.max_norm_tail());
-            cells[d].speedups.push(r.weighted_speedup_vs(&baseline));
-            cells[d].vulnerability.push(r.vulnerability);
-            let e = r.energy_per_instruction();
-            cells[d].energy.push((e.l1, e.l2, e.llc, e.noc, e.mem));
+    for row in per_mix {
+        for (cell, m) in cells.iter_mut().zip(row) {
+            cell.push(m);
         }
     }
     cells
@@ -249,5 +323,50 @@ mod tests {
     #[test]
     fn mix_count_default() {
         assert_eq!(mix_count(12), 12);
+    }
+
+    fn quick_opts() -> SimOptions {
+        SimOptions {
+            duration: jumanji::types::Seconds(0.5),
+            ..SimOptions::default()
+        }
+    }
+
+    #[test]
+    fn parallel_matrix_matches_serial_exactly() {
+        // The engine must be a pure wall-clock optimization: same seeds,
+        // same results, bit for bit, at any worker count.
+        let designs = [DesignKind::Static, DesignKind::Jigsaw, DesignKind::Jumanji];
+        let serial = run_matrix_threads(
+            LcGroup::Same("xapian"),
+            LcLoad::High,
+            &designs,
+            2,
+            &quick_opts(),
+            1,
+        );
+        let parallel = run_matrix_threads(
+            LcGroup::Same("xapian"),
+            LcLoad::High,
+            &designs,
+            2,
+            &quick_opts(),
+            4,
+        );
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn run_matrices_matches_individual_matrices() {
+        let designs = [DesignKind::Static, DesignKind::Jumanji];
+        let matrices = [
+            (LcGroup::Same("silo"), LcLoad::Low),
+            (LcGroup::Mixed, LcLoad::High),
+        ];
+        let batched = run_matrices(&matrices, &designs, 2, &quick_opts());
+        for ((group, load), cells) in matrices.iter().zip(&batched) {
+            let single = run_matrix_threads(*group, *load, &designs, 2, &quick_opts(), 1);
+            assert_eq!(*cells, single);
+        }
     }
 }

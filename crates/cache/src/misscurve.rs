@@ -33,10 +33,21 @@ use core::fmt;
 /// assert_eq!(c.eval_bytes(512), 70.0); // halfway between points 0 and 1
 /// assert_eq!(c.eval_bytes(1 << 20), 10.0); // flat beyond the end
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct MissCurve {
     unit_bytes: u64,
     misses: Vec<f64>,
+    /// Cached [`MissCurve::is_convex`] answer. Convexity is checked on
+    /// every Lookahead call (to pick the cheap greedy path), so it is
+    /// computed once at construction instead of re-scanning the points.
+    convex: bool,
+}
+
+// `convex` is derived from `misses`, so it is excluded from equality.
+impl PartialEq for MissCurve {
+    fn eq(&self, other: &MissCurve) -> bool {
+        self.unit_bytes == other.unit_bytes && self.misses == other.misses
+    }
 }
 
 impl MissCurve {
@@ -61,7 +72,12 @@ impl MissCurve {
             running = running.min(*p);
             *p = running;
         }
-        MissCurve { unit_bytes, misses }
+        let convex = points_convex(&misses);
+        MissCurve {
+            unit_bytes,
+            misses,
+            convex,
+        }
     }
 
     /// A flat curve: the same miss value at every allocation (an app that
@@ -130,6 +146,10 @@ impl MissCurve {
         MissCurve {
             unit_bytes: self.unit_bytes,
             misses: self.misses.iter().map(|m| m * factor).collect(),
+            // Scaling by a non-negative factor multiplies both the gain
+            // differences and the relative tolerance, so convexity (as
+            // is_convex measures it) is preserved exactly.
+            convex: self.convex,
         }
     }
 
@@ -177,20 +197,22 @@ impl MissCurve {
                 out.push(self.misses[a] * (1.0 - t) + self.misses[b] * t);
             }
         }
+        let convex = points_convex(&out);
         MissCurve {
             unit_bytes: self.unit_bytes,
             misses: out,
+            convex,
         }
     }
 
     /// Whether the curve is convex (marginal utility non-increasing), within
-    /// floating-point tolerance.
+    /// floating-point tolerance. The tolerance is relative to the curve's
+    /// magnitude: hulls scaled to absolute misses (10⁹-range values) carry
+    /// rounding noise far above any fixed epsilon.
+    ///
+    /// Computed once at construction and cached; this accessor is O(1).
     pub fn is_convex(&self) -> bool {
-        self.misses.windows(3).all(|w| {
-            let d1 = w[0] - w[1];
-            let d2 = w[1] - w[2];
-            d1 + 1e-9 >= d2
-        })
+        self.convex
     }
 
     /// Optimally combines several *convex* curves into the curve of the
@@ -245,6 +267,89 @@ impl MissCurve {
         }
         (MissCurve::new(unit, combined), splits)
     }
+
+    /// [`MissCurve::combine_convex`] without the per-size split table.
+    ///
+    /// The placement algorithms only need the combined curve (they re-derive
+    /// member sizes with Lookahead afterwards), and they call this on every
+    /// reconfiguration, so this variant skips the hull recomputation for
+    /// already-convex inputs (the common case: DRRIP hulls), caches each
+    /// member's current marginal gain instead of re-reading the curve twice
+    /// per candidate, and never materializes the split vectors. Accepts
+    /// borrowed curves to spare callers the clone, and stops at `cap_units`
+    /// (callers never evaluate the combined curve past the capacity they
+    /// are dividing, while the members' domains can sum to several times
+    /// that).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `curves` is empty or units disagree.
+    pub fn combine_convex_curve<C: std::borrow::Borrow<MissCurve>>(
+        curves: &[C],
+        cap_units: usize,
+    ) -> MissCurve {
+        assert!(!curves.is_empty(), "need at least one curve to combine");
+        let unit = curves[0].borrow().unit_bytes;
+        assert!(
+            curves.iter().all(|c| c.borrow().unit_bytes == unit),
+            "all curves must share unit_bytes"
+        );
+        // Hull only the non-convex inputs; borrow the rest as-is.
+        let owned: Vec<Option<MissCurve>> = curves
+            .iter()
+            .map(|c| {
+                let c = c.borrow();
+                (!c.is_convex()).then(|| c.convex_hull())
+            })
+            .collect();
+        let hulls: Vec<&[f64]> = curves
+            .iter()
+            .zip(&owned)
+            .map(|(c, o)| o.as_ref().unwrap_or(c.borrow()).points())
+            .collect();
+        let total_units: usize = hulls
+            .iter()
+            .map(|h| h.len() - 1)
+            .sum::<usize>()
+            .min(cap_units);
+        let mut alloc = vec![0usize; hulls.len()];
+        // A convex curve's marginal gains are non-increasing, so only the
+        // winner's cached gain changes per step.
+        let gain_at = |h: &[f64], a: usize| {
+            if a + 1 < h.len() {
+                h[a] - h[a + 1]
+            } else {
+                f64::NEG_INFINITY // exhausted member never wins
+            }
+        };
+        let mut gains: Vec<f64> = hulls.iter().map(|h| gain_at(h, 0)).collect();
+        let mut combined = Vec::with_capacity(total_units + 1);
+        let mut current: f64 = hulls.iter().map(|h| h[0]).sum();
+        combined.push(current);
+        for _ in 0..total_units {
+            let (k, &g) = gains
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("gains are comparable"))
+                .expect("at least one member");
+            alloc[k] += 1;
+            current -= g;
+            gains[k] = gain_at(hulls[k], alloc[k]);
+            combined.push(current);
+        }
+        MissCurve::new(unit, combined)
+    }
+}
+
+/// Convexity test used to populate [`MissCurve::is_convex`]'s cache; see
+/// that method for the tolerance rationale.
+fn points_convex(misses: &[f64]) -> bool {
+    let tol = 1e-9 * misses.first().copied().unwrap_or(0.0).abs().max(1.0);
+    misses.windows(3).all(|w| {
+        let d1 = w[0] - w[1];
+        let d2 = w[1] - w[2];
+        d1 + tol >= d2
+    })
 }
 
 impl fmt::Display for MissCurve {

@@ -196,11 +196,11 @@ fn snuca_allocate(input: &PlacementInput, batch: SnucaBatch, fixed_lc: bool) -> 
             let curves: Vec<MissCurve> = vm_members
                 .iter()
                 .map(|members| {
-                    let cs: Vec<MissCurve> = members.iter().map(|a| a.curve.clone()).collect();
+                    let cs: Vec<&MissCurve> = members.iter().map(|a| &a.curve).collect();
                     if cs.is_empty() {
                         MissCurve::flat(unit, input.total_units(), 0.0)
                     } else {
-                        MissCurve::combine_convex(&cs).0
+                        MissCurve::combine_convex_curve(&cs, input.total_units())
                     }
                 })
                 .collect();
@@ -241,7 +241,7 @@ fn snuca_allocate(input: &PlacementInput, batch: SnucaBatch, fixed_lc: bool) -> 
 fn jigsaw_allocate(input: &PlacementInput) -> Allocation {
     let cfg = &input.cfg;
     let unit = input.unit_bytes() as f64;
-    let curves: Vec<MissCurve> = input.apps.iter().map(|a| a.curve.clone()).collect();
+    let curves: Vec<&MissCurve> = input.apps.iter().map(|a| &a.curve).collect();
     let sizes = lookahead(&curves, input.total_units());
     let requests: Vec<PlaceRequest> = input
         .apps

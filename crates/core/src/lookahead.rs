@@ -32,16 +32,49 @@ use nuca_cache::MissCurve;
 /// assert_eq!(alloc.iter().sum::<usize>(), 4);
 /// assert!(alloc[0] >= alloc[1]);
 /// ```
-pub fn lookahead(curves: &[MissCurve], total_units: usize) -> Vec<usize> {
+pub fn lookahead<C: std::borrow::Borrow<MissCurve>>(
+    curves: &[C],
+    total_units: usize,
+) -> Vec<usize> {
     assert!(!curves.is_empty(), "need at least one curve");
     let n = curves.len();
+    let curves: Vec<&MissCurve> = curves.iter().map(|c| c.borrow()).collect();
     let mut alloc = vec![0usize; n];
     let mut remaining = total_units;
     // On convex curves (DRRIP hulls — the common case in this paper) the
     // best average marginal utility is always the single-unit one, so the
-    // expensive chunk scan reduces to plain greedy.
-    let all_convex = curves.iter().all(MissCurve::is_convex);
-    while remaining > 0 {
+    // expensive chunk scan reduces to plain greedy — and since each convex
+    // curve's gains are non-increasing, only the winner's cached gain can
+    // change between steps.
+    let all_convex = curves.iter().all(|c| c.is_convex());
+    if all_convex {
+        let gain = |i: usize, have: usize| {
+            if have < curves[i].max_units() {
+                curves[i].at(have) - curves[i].at(have + 1)
+            } else {
+                0.0 // exhausted: never beats the > 0 acceptance test
+            }
+        };
+        let mut gains: Vec<f64> = (0..n).map(|i| gain(i, 0)).collect();
+        while remaining > 0 {
+            // First-wins on ties, matching the chunk scan below.
+            let mut i = 0;
+            let mut mu = gains[0];
+            for (j, &g) in gains.iter().enumerate().skip(1) {
+                if g > mu {
+                    mu = g;
+                    i = j;
+                }
+            }
+            if mu <= 0.0 {
+                break; // no one benefits from more space
+            }
+            alloc[i] += 1;
+            remaining -= 1;
+            gains[i] = gain(i, alloc[i]);
+        }
+    }
+    while remaining > 0 && !all_convex {
         let mut best: Option<(usize, usize)> = None; // (curve, chunk)
         let mut best_mu = 0.0f64;
         for (i, c) in curves.iter().enumerate() {
@@ -52,20 +85,12 @@ pub fn lookahead(curves: &[MissCurve], total_units: usize) -> Vec<usize> {
                 continue;
             }
             let base = c.at(have);
-            if all_convex {
-                let mu = base - c.at(have + 1);
+            // Max average marginal utility over chunk sizes 1..=max_k.
+            for k in 1..=max_k {
+                let mu = (base - c.at(have + k)) / k as f64;
                 if mu > best_mu {
                     best_mu = mu;
-                    best = Some((i, 1));
-                }
-            } else {
-                // Max average marginal utility over chunk sizes 1..=max_k.
-                for k in 1..=max_k {
-                    let mu = (base - c.at(have + k)) / k as f64;
-                    if mu > best_mu {
-                        best_mu = mu;
-                        best = Some((i, k));
-                    }
+                    best = Some((i, k));
                 }
             }
         }

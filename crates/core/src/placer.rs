@@ -117,7 +117,7 @@ pub fn jumanji_placer(input: &PlacementInput, secure: bool) -> Allocation {
             let batch_units = ((banks_per_vm[vm] * ways_per_bank) as f64 - lc_units[vm])
                 .max(0.0)
                 .floor() as usize;
-            let curves: Vec<MissCurve> = members.iter().map(|a| a.curve.clone()).collect();
+            let curves: Vec<&MissCurve> = members.iter().map(|a| &a.curve).collect();
             let sizes = lookahead(&curves, batch_units);
             let requests: Vec<PlaceRequest> = members
                 .iter()
@@ -145,7 +145,7 @@ pub fn jumanji_placer(input: &PlacementInput, secure: bool) -> Allocation {
             .filter(|a| a.kind == AppKind::Batch)
             .collect();
         let remaining_units = (balance.iter().sum::<f64>() / unit).floor() as usize;
-        let curves: Vec<MissCurve> = members.iter().map(|a| a.curve.clone()).collect();
+        let curves: Vec<&MissCurve> = members.iter().map(|a| &a.curve).collect();
         let sizes = if members.is_empty() {
             Vec::new()
         } else {
@@ -202,7 +202,7 @@ pub fn ideal_batch_placer(input: &PlacementInput) -> Allocation {
         .filter(|a| a.kind == AppKind::Batch)
         .collect();
     let budget_units = (input.total_units() as f64 - lc_total_units).max(0.0) as usize;
-    let curves: Vec<MissCurve> = members.iter().map(|a| a.curve.clone()).collect();
+    let curves: Vec<&MissCurve> = members.iter().map(|a| &a.curve).collect();
     let sizes = if members.is_empty() {
         Vec::new()
     } else {
@@ -285,15 +285,15 @@ pub fn ideal_batch_placer(input: &PlacementInput) -> Allocation {
 fn vm_batch_curves(input: &PlacementInput, num_vms: usize) -> Vec<MissCurve> {
     (0..num_vms)
         .map(|vm| {
-            let curves: Vec<MissCurve> = input
+            let curves: Vec<&MissCurve> = input
                 .vm_apps(VmId(vm))
                 .filter(|a| a.kind == AppKind::Batch)
-                .map(|a| a.curve.clone())
+                .map(|a| &a.curve)
                 .collect();
             if curves.is_empty() {
                 MissCurve::flat(input.unit_bytes(), input.total_units(), 0.0)
             } else {
-                MissCurve::combine_convex(&curves).0
+                MissCurve::combine_convex_curve(&curves, input.total_units())
             }
         })
         .collect()

@@ -11,16 +11,21 @@
 
 use crate::queueing::md1_wait;
 use nuca_types::{BankId, CoreId, Mesh, TileCoord};
-use std::collections::HashMap;
 
 /// A directional link between two adjacent tiles, identified by
 /// `(from_tile, to_tile)` indices.
 pub type Link = (usize, usize);
 
 /// Accumulated flit rates (flits per cycle) per directional link.
+///
+/// Stored densely, indexed by `from_tile * num_tiles + to_tile`: the
+/// model touches every link of every placement path several times per
+/// fixed-point iteration, and a direct index beats hashing the link pair
+/// on that path. A 20-tile mesh needs 400 slots — smaller than the hash
+/// map it replaces.
 #[derive(Debug, Clone, Default)]
 pub struct LinkLoads {
-    flows: HashMap<Link, f64>,
+    flows: Vec<f64>,
     mesh_tiles: usize,
 }
 
@@ -35,32 +40,42 @@ impl LinkLoads {
     where
         I: IntoIterator<Item = (CoreId, BankId, f64)>,
     {
-        let mut loads = LinkLoads {
-            flows: HashMap::new(),
-            mesh_tiles: mesh.num_tiles(),
-        };
+        let mut loads = LinkLoads::default();
+        loads.reset(mesh);
         for (core, bank, rate) in flows {
-            if rate <= 0.0 {
-                continue;
-            }
-            loads.add_path(mesh, mesh.core_tile(core), mesh.bank_tile(bank), rate);
-            loads.add_path(mesh, mesh.bank_tile(bank), mesh.core_tile(core), rate);
+            loads.add_flow(mesh, core, bank, rate);
         }
         loads
     }
 
+    /// Empties the accumulated loads (keeping the allocation) so the
+    /// structure can be refilled for a new rate vector.
+    pub fn reset(&mut self, mesh: Mesh) {
+        self.mesh_tiles = mesh.num_tiles();
+        self.flows.clear();
+        self.flows.resize(self.mesh_tiles * self.mesh_tiles, 0.0);
+    }
+
+    /// Routes one `(core, bank, rate)` flow — request and response path —
+    /// and adds its rate to every link it crosses.
+    pub fn add_flow(&mut self, mesh: Mesh, core: CoreId, bank: BankId, rate: f64) {
+        if rate <= 0.0 {
+            return;
+        }
+        self.add_path(mesh, mesh.core_tile(core), mesh.bank_tile(bank), rate);
+        self.add_path(mesh, mesh.bank_tile(bank), mesh.core_tile(core), rate);
+    }
+
     /// Adds `rate` along the X-then-Y path from `from` to `to`.
     fn add_path(&mut self, mesh: Mesh, from: TileCoord, to: TileCoord, rate: f64) {
+        let t = self.mesh_tiles;
         let mut cur = from;
         while cur.x != to.x {
             let next = TileCoord {
                 x: if to.x > cur.x { cur.x + 1 } else { cur.x - 1 },
                 y: cur.y,
             };
-            *self
-                .flows
-                .entry((mesh.tile_index(cur), mesh.tile_index(next)))
-                .or_default() += rate;
+            self.flows[mesh.tile_index(cur) * t + mesh.tile_index(next)] += rate;
             cur = next;
         }
         while cur.y != to.y {
@@ -68,41 +83,43 @@ impl LinkLoads {
                 x: cur.x,
                 y: if to.y > cur.y { cur.y + 1 } else { cur.y - 1 },
             };
-            *self
-                .flows
-                .entry((mesh.tile_index(cur), mesh.tile_index(next)))
-                .or_default() += rate;
+            self.flows[mesh.tile_index(cur) * t + mesh.tile_index(next)] += rate;
             cur = next;
         }
     }
 
     /// Utilization of one directional link (flits per cycle; capacity 1).
     pub fn utilization(&self, link: Link) -> f64 {
-        self.flows.get(&link).copied().unwrap_or(0.0)
+        self.flows
+            .get(link.0 * self.mesh_tiles + link.1)
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// The most loaded link's utilization.
     pub fn max_utilization(&self) -> f64 {
-        self.flows.values().copied().fold(0.0, f64::max)
+        self.flows.iter().copied().fold(0.0, f64::max)
     }
 
     /// Mean utilization over links carrying any traffic.
     pub fn mean_utilization(&self) -> f64 {
-        if self.flows.is_empty() {
+        let loaded: Vec<f64> = self.flows.iter().copied().filter(|&f| f > 0.0).collect();
+        if loaded.is_empty() {
             return 0.0;
         }
-        self.flows.values().sum::<f64>() / self.flows.len() as f64
+        loaded.iter().sum::<f64>() / loaded.len() as f64
     }
 
     /// Total flit·links per cycle (the NoC's dynamic activity).
     pub fn total_flit_links(&self) -> f64 {
-        self.flows.values().sum()
+        self.flows.iter().sum()
     }
 
     /// Expected congestion delay (cycles) along the X-then-Y path from
     /// `core` to `bank` and back: the sum of per-link M/D/1 waits at
     /// 1-cycle service.
     pub fn path_delay(&self, mesh: Mesh, core: CoreId, bank: BankId) -> f64 {
+        let t = self.mesh_tiles;
         let mut total = 0.0;
         let mut walk = |from: TileCoord, to: TileCoord| {
             let mut cur = from;
@@ -111,10 +128,8 @@ impl LinkLoads {
                     x: if to.x > cur.x { cur.x + 1 } else { cur.x - 1 },
                     y: cur.y,
                 };
-                total += md1_wait(
-                    self.utilization((mesh.tile_index(cur), mesh.tile_index(next))),
-                    1.0,
-                );
+                let f = self.flows[mesh.tile_index(cur) * t + mesh.tile_index(next)];
+                total += md1_wait(f, 1.0);
                 cur = next;
             }
             while cur.y != to.y {
@@ -122,10 +137,8 @@ impl LinkLoads {
                     x: cur.x,
                     y: if to.y > cur.y { cur.y + 1 } else { cur.y - 1 },
                 };
-                total += md1_wait(
-                    self.utilization((mesh.tile_index(cur), mesh.tile_index(next))),
-                    1.0,
-                );
+                let f = self.flows[mesh.tile_index(cur) * t + mesh.tile_index(next)];
+                total += md1_wait(f, 1.0);
                 cur = next;
             }
         };

@@ -35,7 +35,31 @@ pub fn isolation_service_cycles(profile: &LcProfile, cfg: &SystemConfig) -> f64 
 /// The deadline, in cycles, for `profile` per the paper's methodology.
 ///
 /// Deterministic: the arrival stream is seeded from the profile name.
+///
+/// The isolation run simulates [`DEADLINE_REQUESTS`] requests, which is by
+/// far the most expensive step of `Experiment::new` — and it is a pure
+/// function of `(profile, cfg)`, both of which repeat across the thousands
+/// of experiments a figure sweep runs. The result is therefore memoized
+/// per thread (thread-local so the parallel experiment engine needs no
+/// locking; each worker warms its own cache in a few calls).
 pub fn deadline_cycles(profile: &LcProfile, cfg: &SystemConfig) -> f64 {
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    thread_local! {
+        static CACHE: RefCell<HashMap<String, f64>> = RefCell::new(HashMap::new());
+    }
+    // Debug formatting captures every field (including the curve shape),
+    // so any change to the profile or machine gets its own entry.
+    let key = format!("{profile:?}|{cfg:?}");
+    if let Some(d) = CACHE.with(|c| c.borrow().get(&key).copied()) {
+        return d;
+    }
+    let d = deadline_cycles_uncached(profile, cfg);
+    CACHE.with(|c| c.borrow_mut().insert(key, d));
+    d
+}
+
+fn deadline_cycles_uncached(profile: &LcProfile, cfg: &SystemConfig) -> f64 {
     let service = isolation_service_cycles(profile, cfg);
     let interarrival = profile.interarrival_cycles(LcLoad::High, cfg.freq_hz);
     let seed = profile

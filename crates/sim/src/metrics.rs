@@ -85,10 +85,45 @@ pub fn vulnerability(input: &PlacementInput, alloc: &Allocation, rates: &[f64]) 
     if total <= 0.0 {
         return 0.0;
     }
+    // Shared allocations put every pool member on every pool bank, so the
+    // (app, bank) visit count is quadratic; resolve occupancy for all
+    // banks once instead of once per visit. Counting occupants per (bank,
+    // VM) reproduces Allocation::attackers exactly: an app's attacker
+    // count at a bank is the occupants there minus its own VM's.
+    let num_banks = input.cfg.llc.num_banks;
+    let num_vms = input
+        .apps
+        .iter()
+        .map(|a| a.vm.index() + 1)
+        .max()
+        .unwrap_or(0);
+    let occupants = alloc.occupants_by_bank(num_banks);
+    let mut vm_counts = vec![vec![0usize; num_vms]; num_banks];
+    for (bank, occ) in occupants.iter().enumerate() {
+        for a in occ {
+            vm_counts[bank][input.apps[a.index()].vm.index()] += 1;
+        }
+    }
     rates
         .iter()
         .enumerate()
-        .map(|(i, &r)| alloc.attackers(input, AppId(i)) * r / total)
+        .map(|(i, &r)| {
+            let my_vm = input.apps[i].vm.index();
+            let placement = alloc.placement_of(AppId(i));
+            let bytes_total: f64 = placement.iter().map(|(_, b)| b).sum();
+            if bytes_total <= 0.0 {
+                return 0.0;
+            }
+            let attackers: f64 = placement
+                .iter()
+                .map(|&(bank, bytes)| {
+                    let b = bank.index();
+                    let n = (occupants[b].len() - vm_counts[b][my_vm]) as f64;
+                    n * bytes / bytes_total
+                })
+                .sum();
+            attackers * r / total
+        })
         .sum()
 }
 

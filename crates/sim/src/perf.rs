@@ -100,6 +100,46 @@ pub struct AppPerf {
     pub access_rate: f64,
 }
 
+/// Reusable buffers for [`evaluate_with`]: per-bank port loads, per-
+/// controller bandwidth demand, and the per-link flow map. The interval
+/// loop in the runner evaluates the model hundreds of times on the same
+/// geometry; keeping one scratch per experiment avoids reallocating (and
+/// rehashing) these on every fixed-point iteration of every interval.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    bank_load: Vec<f64>,
+    ctrl_load: Vec<f64>,
+    link_loads: LinkLoads,
+}
+
+impl EvalScratch {
+    /// A fresh scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Per-application quantities that are fixed by the allocation and thus
+/// loop-invariant across the fixed-point iterations: the fixed point only
+/// moves `rates`, while capacity, geometry, and the miss-ratio at that
+/// capacity stay put.
+struct AppStatics<'a> {
+    /// Miss ratio after associativity penalty and pool churn (the value
+    /// reported in [`AppPerf::miss_ratio`]).
+    miss_ratio: f64,
+    /// Raw curve miss ratio at the effective capacity (drives DRAM
+    /// traffic; associativity conflicts refetch from the LLC itself).
+    traffic_miss_ratio: f64,
+    /// Average hop distance from the core to the data.
+    hops: f64,
+    /// `(bank, placement bytes)` pairs, as stored in the allocation.
+    placement: &'a [(BankId, f64)],
+    /// Total placed bytes (0 when the placement is unknown).
+    total_bytes: f64,
+    /// Per placed bank: its controller index and unloaded miss penalty.
+    bank_mem: Vec<(usize, f64)>,
+}
+
 /// Evaluates the performance model for every application.
 ///
 /// `prev_rates[a]` is the previous interval's access rate estimate
@@ -112,6 +152,19 @@ pub fn evaluate(
     alloc: &Allocation,
     prev_rates: &[f64],
 ) -> Vec<AppPerf> {
+    let mut scratch = EvalScratch::new();
+    evaluate_with(cfg, profiles, cores, alloc, prev_rates, &mut scratch)
+}
+
+/// [`evaluate`] with caller-provided scratch buffers (see [`EvalScratch`]).
+pub fn evaluate_with(
+    cfg: &SystemConfig,
+    profiles: &[Profile],
+    cores: &[CoreId],
+    alloc: &Allocation,
+    prev_rates: &[f64],
+    scratch: &mut EvalScratch,
+) -> Vec<AppPerf> {
     assert_eq!(profiles.len(), cores.len(), "one core per application");
     let noc = MeshNoc::new(cfg);
     let mem = MemSystem::new(cfg);
@@ -120,12 +173,13 @@ pub fn evaluate(
     let mut out = vec![AppPerf::default(); n];
 
     // Geometry and capacity are fixed by the allocation; latency and rates
-    // need a few fixed-point iterations.
+    // need a few fixed-point iterations. Everything that depends only on
+    // the allocation is computed once, outside the fixed point.
     let capacities = effective_capacities(cfg, profiles, alloc, &rates);
-    for _ in 0..3 {
-        let (bank_load, ctrl_load, link_loads) =
-            traffic(cfg, alloc, profiles, cores, &rates, &capacities, &mem);
-        for (i, prof) in profiles.iter().enumerate() {
+    let statics: Vec<AppStatics> = profiles
+        .iter()
+        .enumerate()
+        .map(|(i, prof)| {
             let app = AppId(i);
             let cap = capacities[i];
             let ways = avg_ways(cfg, alloc, app);
@@ -139,55 +193,76 @@ pub fn evaluate(
                 }
                 None => 1.0,
             };
-            let mr = (prof.miss_ratio(cap) * assoc_penalty(ways, cfg.llc.ways) * churn).min(1.0);
+            let raw_mr = prof.miss_ratio(cap);
             let placement = alloc.placement_of(app);
-            let hops = alloc_distance(cfg, alloc, app, cores[i]);
-            // Port wait averaged over the banks this app touches.
-            let total_bytes: f64 = placement.iter().map(|(_, b)| b).sum();
-            let port_wait = if total_bytes > 0.0 {
-                placement
-                    .iter()
-                    .map(|&(b, bytes)| {
-                        md1_wait(bank_load[b.index()], PORT_OCCUPANCY) * bytes / total_bytes
-                    })
-                    .sum()
-            } else {
-                0.0
-            };
-            // Link congestion along the app's paths, weighted by its
+            let bank_mem = placement
+                .iter()
+                .map(|&(b, _)| {
+                    (
+                        mem.controller_for_bank(b),
+                        noc.miss_penalty(b).as_u64() as f64,
+                    )
+                })
+                .collect();
+            AppStatics {
+                miss_ratio: (raw_mr * assoc_penalty(ways, cfg.llc.ways) * churn).min(1.0),
+                traffic_miss_ratio: raw_mr.min(1.0),
+                hops: alloc_distance(cfg, alloc, app, cores[i]),
+                placement,
+                total_bytes: placement.iter().map(|(_, b)| b).sum(),
+                bank_mem,
+            }
+        })
+        .collect();
+    for _ in 0..3 {
+        traffic(cfg, &statics, cores, &rates, &mem, scratch);
+        let EvalScratch {
+            bank_load,
+            ctrl_load,
+            link_loads,
+        } = scratch;
+        for (i, prof) in profiles.iter().enumerate() {
+            let st = &statics[i];
+            let total_bytes = st.total_bytes;
+            // Port wait averaged over the banks this app touches, and
+            // link congestion along the app's paths, weighted by its
             // per-bank traffic shares.
-            let link_wait = if total_bytes > 0.0 {
-                placement
+            let (port_wait, link_wait) = if total_bytes > 0.0 {
+                st.placement
                     .iter()
                     .map(|&(b, bytes)| {
-                        link_loads.path_delay(cfg.mesh(), cores[i], b) * bytes / total_bytes
+                        let w = bytes / total_bytes;
+                        (
+                            md1_wait(bank_load[b.index()], PORT_OCCUPANCY) * w,
+                            link_loads.path_delay(cfg.mesh(), cores[i], b) * w,
+                        )
                     })
-                    .sum()
+                    .fold((0.0, 0.0), |(p, l), (dp, dl)| (p + dp, l + dl))
             } else {
-                0.0
+                (0.0, 0.0)
             };
             let llc_lat = cfg.llc.bank_latency.as_u64() as f64
-                + noc.round_trip_for_hops(hops)
+                + noc.round_trip_for_hops(st.hops)
                 + port_wait
                 + link_wait;
             // Miss penalty: bank to nearest controller and back + DRAM +
             // bandwidth queueing at that controller.
             let miss_pen = if total_bytes > 0.0 {
-                placement
+                st.placement
                     .iter()
-                    .map(|&(b, bytes)| {
-                        let base = noc.miss_penalty(b).as_u64() as f64;
-                        let q = mem.queue_delay(ctrl_load[mem.controller_for_bank(b)]);
-                        (base + q) * bytes / total_bytes
+                    .zip(&st.bank_mem)
+                    .map(|(&(_, bytes), &(ctrl, base))| {
+                        (base + mem.queue_delay(ctrl_load[ctrl])) * bytes / total_bytes
                     })
                     .sum()
             } else {
                 noc.avg_miss_penalty() + mem.queue_delay(ctrl_load.iter().sum::<f64>() / 4.0)
             };
+            let mr = st.miss_ratio;
             let perf = &mut out[i];
-            perf.capacity_bytes = cap;
+            perf.capacity_bytes = capacities[i];
             perf.miss_ratio = mr;
-            perf.avg_hops = hops;
+            perf.avg_hops = st.hops;
             perf.llc_latency = llc_lat;
             perf.miss_penalty = miss_pen;
             match prof {
@@ -225,17 +300,17 @@ pub fn effective_capacities(
     let mut caps: Vec<f64> = alloc.apps.iter().map(|a| a.total_bytes()).collect();
     for pool in &alloc.pools {
         let pool_units = pool.total_bytes() / unit as f64;
-        // Members' absolute miss-rate curves at unit granularity.
+        // Members' absolute miss-rate curves at unit granularity. The
+        // sampled ratio curve depends only on (profile, unit, ways) — the
+        // per-interval access rate just scales it — so the expensive
+        // sampling is memoized and only the cheap scaling runs per call.
         let curves: Vec<MissCurve> = pool
             .members
             .iter()
             .map(|m| {
                 let prof = &profiles[m.index()];
                 let rate = rates[m.index()].max(1.0);
-                let pts: Vec<f64> = (0..=cfg.llc.total_ways() as usize)
-                    .map(|u| prof.miss_ratio((u as u64 * unit) as f64) * rate)
-                    .collect();
-                MissCurve::new(unit, pts)
+                sampled_ratio_curve(prof, unit, cfg.llc.total_ways() as usize).scaled(rate)
             })
             .collect();
         let occ = shared_occupancy(&curves, pool_units);
@@ -244,6 +319,30 @@ pub fn effective_capacities(
         }
     }
     caps
+}
+
+/// Memoized unit-granularity sampling of a profile's miss-ratio curve.
+///
+/// Sampling evaluates `units + 1` parametric curve points (each a `powf`
+/// per smooth component), and pooled designs resample every member on
+/// every interval; the cache turns that into one sampling per profile per
+/// thread. Thread-local so the parallel experiment engine needs no locks.
+fn sampled_ratio_curve(prof: &Profile, unit: u64, units: usize) -> MissCurve {
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    thread_local! {
+        static CACHE: RefCell<HashMap<String, MissCurve>> = RefCell::new(HashMap::new());
+    }
+    let key = format!("{prof:?}|{unit}|{units}");
+    if let Some(c) = CACHE.with(|c| c.borrow().get(&key).cloned()) {
+        return c;
+    }
+    let pts: Vec<f64> = (0..=units)
+        .map(|u| prof.miss_ratio((u as u64 * unit) as f64))
+        .collect();
+    let curve = MissCurve::new(unit, pts);
+    CACHE.with(|c| c.borrow_mut().insert(key, curve.clone()));
+    curve
 }
 
 /// Average ways available to the app where its data lives (pool ways for
@@ -268,50 +367,49 @@ fn alloc_distance(cfg: &SystemConfig, alloc: &Allocation, app: AppId, core: Core
 }
 
 /// Per-bank port utilization and per-controller bandwidth demand for the
-/// current rates.
+/// current rates, written into `scratch`.
 fn traffic(
     cfg: &SystemConfig,
-    alloc: &Allocation,
-    profiles: &[Profile],
+    statics: &[AppStatics],
     cores: &[CoreId],
     rates: &[f64],
-    capacities: &[f64],
     mem: &MemSystem,
-) -> (Vec<f64>, Vec<f64>, LinkLoads) {
+    scratch: &mut EvalScratch,
+) {
     let nbanks = cfg.llc.num_banks;
-    let mut bank_load = vec![0.0f64; nbanks]; // utilization per bank port
-    let mut ctrl_load = vec![0.0f64; mem.num_controllers()]; // lines/cycle
-    let mut flows: Vec<(CoreId, BankId, f64)> = Vec::new();
-    for (i, prof) in profiles.iter().enumerate() {
-        let app = AppId(i);
+    let mesh = cfg.mesh();
+    scratch.bank_load.clear();
+    scratch.bank_load.resize(nbanks, 0.0); // utilization per bank port
+    scratch.ctrl_load.clear();
+    scratch.ctrl_load.resize(mem.num_controllers(), 0.0); // lines/cycle
+    scratch.link_loads.reset(mesh);
+    for (i, st) in statics.iter().enumerate() {
         let rate_cyc = rates[i] / cfg.freq_hz; // accesses per cycle
-        let placement = alloc.placement_of(app);
-        let total: f64 = placement.iter().map(|(_, b)| b).sum();
-        let mr = prof.miss_ratio(capacities[i]).min(1.0);
-        if total <= 0.0 {
+        let mr = st.traffic_miss_ratio;
+        if st.total_bytes <= 0.0 {
             // Uniform striping assumption when no placement is known.
-            for (b, load) in bank_load.iter_mut().enumerate() {
+            for (b, load) in scratch.bank_load.iter_mut().enumerate() {
                 *load += rate_cyc / nbanks as f64 * PORT_OCCUPANCY;
                 let c = mem.controller_for_bank(BankId(b));
-                ctrl_load[c] += rate_cyc * mr / nbanks as f64;
-                flows.push((
+                scratch.ctrl_load[c] += rate_cyc * mr / nbanks as f64;
+                scratch.link_loads.add_flow(
+                    mesh,
                     cores[i],
                     BankId(b),
                     rate_cyc / nbanks as f64 * FLITS_PER_ACCESS,
-                ));
+                );
             }
             continue;
         }
-        for &(b, bytes) in placement {
-            let share = bytes / total;
-            bank_load[b.index()] += rate_cyc * share * PORT_OCCUPANCY;
-            let c = mem.controller_for_bank(b);
-            ctrl_load[c] += rate_cyc * mr * share;
-            flows.push((cores[i], b, rate_cyc * share * FLITS_PER_ACCESS));
+        for (&(b, bytes), &(c, _)) in st.placement.iter().zip(&st.bank_mem) {
+            let share = bytes / st.total_bytes;
+            scratch.bank_load[b.index()] += rate_cyc * share * PORT_OCCUPANCY;
+            scratch.ctrl_load[c] += rate_cyc * mr * share;
+            scratch
+                .link_loads
+                .add_flow(mesh, cores[i], b, rate_cyc * share * FLITS_PER_ACCESS);
         }
     }
-    let link_loads = LinkLoads::from_flows(cfg.mesh(), flows);
-    (bank_load, ctrl_load, link_loads)
 }
 
 #[cfg(test)]

@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Repo verification: formatting, lints, the full test suite, and a quick
+# end-to-end pass of the experiment engine (including the parallel-vs-
+# serial byte-identity guarantee). Run from the repo root:
+#
+#   sh scripts/verify.sh
+#
+# Builds are offline (--offline): the workspace vendors shims for its few
+# external dev-dependencies, so no network access is required.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (all targets, warnings are errors)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --offline --release
+
+echo "== cargo test --release"
+cargo test --offline --release --workspace
+
+echo "== quick suite: timings (runs every heavy binary at --mixes 4)"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+./target/release/timings --out "$tmp"
+cat "$tmp/BENCH_suite.json"
+
+echo "== parallel output is byte-identical to serial"
+./target/release/fig13 --mixes 2 --threads 1 >"$tmp/t1.tsv"
+./target/release/fig13 --mixes 2 --threads 4 >"$tmp/t4.tsv"
+cmp "$tmp/t1.tsv" "$tmp/t4.tsv"
+
+echo "verify: OK"
