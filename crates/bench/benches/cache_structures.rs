@@ -81,6 +81,61 @@ fn ports(c: &mut Criterion) {
     group.finish();
 }
 
+fn virtual_cache(c: &mut Criterion) {
+    use jumanji::types::{AppId, PageId};
+    use jumanji::vc::{PageMap, PlacementDescriptor, Tlb, Vtb};
+
+    // Page-locality stream: mostly hot pages, a streaming tail.
+    let pages: Vec<PageId> = (0..N)
+        .map(|i| {
+            let r = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
+            if r % 10 < 9 {
+                PageId((r % 96) as usize)
+            } else {
+                PageId(10_000 + i)
+            }
+        })
+        .collect();
+    let mut group = c.benchmark_group("virtual_cache");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("tlb_access", |b| {
+        b.iter(|| {
+            let mut tlb = Tlb::new(64);
+            for &p in &pages {
+                black_box(tlb.access(p));
+            }
+            tlb.hits()
+        })
+    });
+    group.bench_function("vtb_lookup", |b| {
+        let mut vtb = Vtb::new();
+        for a in 0..20 {
+            vtb.install(AppId(a), PlacementDescriptor::uniform(20));
+        }
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..N as u64 {
+                acc += vtb.lookup(AppId((i % 20) as usize), i * 64).index();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("pagemap_assign_lookup", |b| {
+        b.iter(|| {
+            let mut pm = PageMap::new();
+            for &p in &pages {
+                pm.assign(p, AppId(p.index() % 20));
+            }
+            let mut acc = 0usize;
+            for &p in &pages {
+                acc += pm.vc_of(p).map(|a| a.index()).unwrap_or(0);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
 fn detailed_sim(c: &mut Criterion) {
     use jumanji::core::{DesignKind, PlacementInput};
     use jumanji::prelude::*;
@@ -119,5 +174,12 @@ fn detailed_sim(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bank_access, monitors, ports, detailed_sim);
+criterion_group!(
+    benches,
+    bank_access,
+    monitors,
+    ports,
+    virtual_cache,
+    detailed_sim
+);
 criterion_main!(benches);

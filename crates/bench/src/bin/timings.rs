@@ -10,10 +10,16 @@
 //! the figure binaries).
 
 use std::io::Write as _;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::Command;
 use std::time::Instant;
 
+use jumanji::core::{AppKind, DesignKind, PlacementInput};
+use jumanji::prelude::*;
+use jumanji::sim::detail::{run_detailed, DetailOptions};
+use jumanji::sim::perf::Profile;
+use jumanji::types::{CoreId, VmId};
+use jumanji::workloads::LcLoad;
 use jumanji_bench::exec::{flag_value, thread_count};
 
 /// The binaries whose wall-clock the suite tracks, in run order.
@@ -30,6 +36,48 @@ const SUITE: &[&str] = &[
 /// Mix count forwarded to every binary: small enough for a quick suite,
 /// large enough to exercise the fan-out.
 const SUITE_MIXES: usize = 4;
+
+/// Accesses per application for the single-core detailed-simulator
+/// throughput probe — the `validate` binary's scale.
+const DETAIL_ACCESSES: usize = 80_000;
+
+/// Measures detailed-simulator throughput (accesses/sec) on one core at
+/// `validate` scale: the example placement input, both the S-NUCA and
+/// Jumanji allocations, `DETAIL_ACCESSES` accesses per app.
+fn detail_throughput() -> (u64, f64) {
+    let cfg = SystemConfig::micro2020();
+    let input = PlacementInput::example(&cfg);
+    let lc = tailbench();
+    let batch = spec2006();
+    let profiles: Vec<Profile> = input
+        .apps
+        .iter()
+        .enumerate()
+        .map(|(i, a)| match a.kind {
+            AppKind::LatencyCritical => Profile::Lc(lc[i % lc.len()].clone(), LcLoad::High),
+            AppKind::Batch => Profile::Batch(batch[i % batch.len()].clone()),
+        })
+        .collect();
+    let cores: Vec<CoreId> = input.apps.iter().map(|a| a.core).collect();
+    let vms: Vec<VmId> = input.apps.iter().map(|a| a.vm).collect();
+    let opts = DetailOptions {
+        cfg,
+        accesses_per_app: DETAIL_ACCESSES,
+        ..DetailOptions::default()
+    };
+    let allocs = [
+        DesignKind::Adaptive.allocate(&input),
+        DesignKind::Jumanji.allocate(&input),
+    ];
+    let total_accesses = (allocs.len() * profiles.len() * DETAIL_ACCESSES) as u64;
+    let t = Instant::now();
+    for alloc in &allocs {
+        let report = run_detailed(&opts, &profiles, &cores, &vms, alloc);
+        assert_eq!(report.apps.len(), profiles.len());
+    }
+    let secs = t.elapsed().as_secs_f64();
+    (total_accesses, total_accesses as f64 / secs)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -60,7 +108,16 @@ fn main() {
     let total: f64 = rows.iter().map(|(_, s)| s).sum();
     eprintln!("total: {total:.2}s");
 
-    let baseline = read_baseline(&out_dir.join("BENCH_baseline.json"));
+    let (detail_accesses, detail_rate) = detail_throughput();
+    eprintln!("detail: {detail_rate:.3e} accesses/sec ({detail_accesses} accesses, 1 core)");
+
+    let baseline_text = std::fs::read_to_string(out_dir.join("BENCH_baseline.json")).ok();
+    let baseline = baseline_text
+        .as_deref()
+        .and_then(|t| read_number(t, "\"total_seconds\":"));
+    let detail_base = baseline_text
+        .as_deref()
+        .and_then(|t| read_number(t, "\"detail_accesses_per_sec\":"));
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"mixes\": {SUITE_MIXES},\n"));
@@ -73,6 +130,18 @@ fn main() {
         ));
     }
     json.push_str("  },\n");
+    json.push_str("  \"detail\": {\n");
+    json.push_str(&format!(
+        "    \"accesses\": {detail_accesses},\n    \"accesses_per_sec\": {detail_rate:.0}"
+    ));
+    if let Some(base) = detail_base {
+        json.push_str(&format!(
+            ",\n    \"baseline_accesses_per_sec\": {base:.0},\n    \"speedup_vs_baseline\": {:.2}",
+            detail_rate / base
+        ));
+        eprintln!("detail speedup vs baseline: {:.2}x", detail_rate / base);
+    }
+    json.push_str("\n  },\n");
     json.push_str(&format!("  \"total_seconds\": {total:.3}"));
     if let Some(base_total) = baseline {
         json.push_str(&format!(
@@ -90,14 +159,12 @@ fn main() {
     eprintln!("wrote {}", out_path.display());
 }
 
-/// Pulls `total_seconds` out of a baseline report, if one exists.
+/// Pulls one numeric field out of a baseline report.
 ///
 /// The file is our own schema, so a full JSON parser would be overkill
 /// (and the container bakes in no JSON crate): scan for the key and parse
 /// the number after the colon.
-fn read_baseline(path: &Path) -> Option<f64> {
-    let text = std::fs::read_to_string(path).ok()?;
-    let key = "\"total_seconds\":";
+fn read_number(text: &str, key: &str) -> Option<f64> {
     let at = text.find(key)? + key.len();
     let rest = &text[at..];
     let end = rest

@@ -154,21 +154,13 @@ impl BankStats {
         if self.per_partition.len() <= part.0 {
             self.per_partition.resize(part.0 + 1, (0, 0));
         }
+        // Branch-free: `hit` alternates unpredictably on the simulator hot
+        // path, so counting with an add beats a ~50% mispredicted branch.
         let entry = &mut self.per_partition[part.0];
         entry.0 += 1;
-        if hit {
-            self.hits += 1;
-            entry.1 += 1;
-        }
+        entry.1 += u64::from(hit);
+        self.hits += u64::from(hit);
     }
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: LineAddr,
-    part: PartitionId,
-    repl: ReplState,
-    dirty: bool,
 }
 
 /// A set-associative cache bank with way-partitioning and (for DRRIP) a
@@ -176,10 +168,42 @@ struct Line {
 ///
 /// See the crate-level docs for the security-relevant sharing this
 /// structure models.
+///
+/// # Layout
+///
+/// The bank is a flat arena rather than a `Vec<Vec<Option<Line>>>`, and
+/// the layout is driven by cache-line traffic per simulated access:
+///
+/// - `meta` interleaves, per set, a row of 8-bit **partial tags** (a hash
+///   of each resident line's address) and the row of RRPV counters. For a
+///   32-way set both rows together span 64 bytes — one host cache line
+///   carries everything a lookup *and* a victim scan need.
+/// - A lookup scans the partial-tag row first (SWAR, eight ways per `u64`)
+///   and touches the full 8-byte tag array only for candidate ways — on a
+///   miss, usually never. False positives are rejected by the full tag
+///   compare; false negatives cannot happen because fills always write the
+///   hash.
+/// - Each way's full tag and owning partition share one 8-byte [`Slot`]:
+///   the tag is stored *set-relative* (`line / sets` — the set index adds
+///   no information) so it fits in 32 bits, and a fill writes tag and
+///   owner through a single cache line instead of two parallel arrays.
+/// - `vd` packs each set's valid and dirty bitmasks side by side.
 #[derive(Debug, Clone)]
 pub struct CacheBank {
     cfg: BankConfig,
-    sets: Vec<Vec<Option<Line>>>,
+    /// `cfg.ways` as a `usize` stride.
+    ways: usize,
+    /// Tag/owner arena, `sets * ways` entries; empty slots hold
+    /// [`NO_TAG`].
+    slots: Vec<Slot>,
+    /// Interleaved per-set metadata, `2 * ways` bytes per set: the partial
+    /// tag row at `si * 2 * ways`, then the RRPV row (unused under LRU).
+    meta: Vec<u8>,
+    /// LRU timestamp per way slot (LRU policy; empty under RRIP).
+    stamps: Vec<u64>,
+    /// Per-set `[valid, dirty]` way bitmask pair (bit `w` set = way `w`
+    /// holds a line / holds a dirty line).
+    vd: Vec<[u64; 2]>,
     masks: Vec<WayMask>,
     /// 10-bit saturating policy selector shared across the whole bank.
     /// High values mean SRRIP is missing more, so followers use BRRIP.
@@ -194,6 +218,31 @@ const PSEL_INIT: u32 = 512;
 /// Leader-set stride for set-dueling (one SRRIP and one BRRIP leader per 32
 /// sets).
 const DUEL_STRIDE: usize = 32;
+/// Set-relative tag stored in empty way slots, so an equality compare
+/// against any real tag fails without a separate validity check.
+/// [`CacheBank`] asserts that real line addresses stay below
+/// `NO_TAG * sets`, which for realistic geometries allows multi-terabyte
+/// address spaces.
+const NO_TAG: u32 = u32::MAX;
+/// Valid-mask index within a [`CacheBank::vd`] pair.
+const VD_VALID: usize = 0;
+/// Dirty-mask index within a [`CacheBank::vd`] pair.
+const VD_DIRTY: usize = 1;
+
+/// One way's tag and owner, fused so a fill touches a single cache line.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    /// Set-relative tag (`line / sets`), or [`NO_TAG`] when empty.
+    tag: u32,
+    /// Owning partition (16 bits are plenty: partitions are per-app or
+    /// per-VM).
+    part: u16,
+}
+
+const EMPTY_SLOT: Slot = Slot {
+    tag: NO_TAG,
+    part: 0,
+};
 
 impl CacheBank {
     /// Creates an empty bank.
@@ -204,15 +253,82 @@ impl CacheBank {
     pub fn new(cfg: BankConfig) -> CacheBank {
         assert!(cfg.sets > 0, "bank needs at least one set");
         assert!(cfg.ways > 0 && cfg.ways <= 64, "ways must be in 1..=64");
+        let ways = cfg.ways as usize;
+        let slots = cfg.sets * ways;
+        let lru = cfg.policy == ReplPolicy::Lru;
         CacheBank {
             cfg,
-            sets: vec![vec![None; cfg.ways as usize]; cfg.sets],
+            ways,
+            slots: vec![EMPTY_SLOT; slots],
+            meta: vec![0; 2 * slots],
+            stamps: if lru { vec![0; slots] } else { Vec::new() },
+            vd: vec![[0, 0]; cfg.sets],
             masks: Vec::new(),
             psel: PSEL_INIT,
             brrip_ctr: 0,
             stamp: 0,
             stats: BankStats::default(),
         }
+    }
+
+    /// Bitmask selecting the bank's physical ways.
+    #[inline]
+    fn ways_mask(&self) -> u64 {
+        WayMask::all(self.cfg.ways).0
+    }
+
+    /// Offset of set `si`'s partial-tag row in [`CacheBank::meta`]; the
+    /// RRPV row follows at `meta_base + ways`.
+    #[inline]
+    fn meta_base(&self, si: usize) -> usize {
+        si * 2 * self.ways
+    }
+
+    /// Splits a line address into its set index and set-relative tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tag would collide with the [`NO_TAG`] sentinel —
+    /// i.e. if `line >= u32::MAX * sets`, far beyond any simulated
+    /// footprint.
+    #[inline]
+    fn split(&self, line: LineAddr) -> (usize, u32) {
+        let sets = self.cfg.sets as u64;
+        // Power-of-two geometries strength-reduce to mask and shift; the
+        // branch is on a loop invariant and predicts perfectly.
+        let (si, tag) = if sets.is_power_of_two() {
+            (line & (sets - 1), line >> sets.trailing_zeros())
+        } else {
+            (line % sets, line / sets)
+        };
+        assert!(
+            tag < u64::from(NO_TAG),
+            "line address out of range for 32-bit set-relative tags"
+        );
+        (si as usize, tag as u32)
+    }
+
+    /// Reconstructs the line address stored in set `si` with tag `tag`.
+    #[inline]
+    fn join(&self, si: usize, tag: u32) -> LineAddr {
+        u64::from(tag) * self.cfg.sets as u64 + si as u64
+    }
+
+    /// 8-bit partial tag of a set-relative tag (top byte of a Fibonacci
+    /// hash).
+    #[inline]
+    fn tag_hash(tag: u32) -> u8 {
+        (u64::from(tag).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56) as u8
+    }
+
+    /// Narrows a partition id to the arena's 16-bit owner slots.
+    #[inline]
+    fn owner_of(part: PartitionId) -> u16 {
+        assert!(
+            part.0 <= u16::MAX as usize,
+            "partition ids must fit in 16 bits"
+        );
+        part.0 as u16
     }
 
     /// This bank's configuration.
@@ -268,38 +384,55 @@ impl CacheBank {
     /// Set index for a line address.
     #[inline]
     pub fn set_of(&self, line: LineAddr) -> usize {
-        (line % self.cfg.sets as u64) as usize
+        // Real bank geometries have power-of-two set counts, where the
+        // modulo strength-reduces to a mask; the branch is on a loop
+        // invariant and predicts perfectly.
+        let sets = self.cfg.sets as u64;
+        if sets.is_power_of_two() {
+            (line & (sets - 1)) as usize
+        } else {
+            (line % sets) as usize
+        }
     }
 
     /// Whether `line` is currently resident.
     pub fn resident(&self, line: LineAddr) -> bool {
-        let set = &self.sets[self.set_of(line)];
-        set.iter().flatten().any(|l| l.tag == line)
+        let (si, tag) = self.split(line);
+        self.find_way(si, tag).is_some()
     }
 
     /// Invalidates `line` if resident; returns whether it was present.
     pub fn invalidate(&mut self, line: LineAddr) -> bool {
-        let si = self.set_of(line);
-        for slot in &mut self.sets[si] {
-            if slot.map(|l| l.tag == line).unwrap_or(false) {
-                *slot = None;
-                return true;
+        let (si, tag) = self.split(line);
+        match self.find_way(si, tag) {
+            Some(w) => {
+                self.slots[si * self.ways + w].tag = NO_TAG;
+                self.vd[si][VD_VALID] &= !(1u64 << w);
+                self.vd[si][VD_DIRTY] &= !(1u64 << w);
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// Invalidates every line owned by `part`; returns how many were
     /// dropped. Used when flushing a partition on VM context switch
     /// (Sec. IV-B).
     pub fn flush_partition(&mut self, part: PartitionId) -> u64 {
+        let owner = Self::owner_of(part);
         let mut dropped = 0;
-        for set in &mut self.sets {
-            for slot in set.iter_mut() {
-                if slot.map(|l| l.part == part).unwrap_or(false) {
-                    *slot = None;
+        for si in 0..self.cfg.sets {
+            let base = si * self.ways;
+            let mut v = self.vd[si][VD_VALID];
+            while v != 0 {
+                let w = v.trailing_zeros() as usize;
+                if self.slots[base + w].part == owner {
+                    self.slots[base + w].tag = NO_TAG;
+                    self.vd[si][VD_VALID] &= !(1u64 << w);
+                    self.vd[si][VD_DIRTY] &= !(1u64 << w);
                     dropped += 1;
                 }
+                v &= v - 1;
             }
         }
         dropped
@@ -307,12 +440,18 @@ impl CacheBank {
 
     /// Number of resident lines owned by `part`.
     pub fn occupancy(&self, part: PartitionId) -> u64 {
-        self.sets
-            .iter()
-            .flatten()
-            .flatten()
-            .filter(|l| l.part == part)
-            .count() as u64
+        let owner = Self::owner_of(part);
+        let mut count = 0;
+        for si in 0..self.cfg.sets {
+            let base = si * self.ways;
+            let mut v = self.vd[si][VD_VALID];
+            while v != 0 {
+                let w = v.trailing_zeros() as usize;
+                count += u64::from(self.slots[base + w].part == owner);
+                v &= v - 1;
+            }
+        }
+        count
     }
 
     /// Performs one read access on behalf of `part`, filling on a miss.
@@ -334,18 +473,48 @@ impl CacheBank {
         part: PartitionId,
         is_write: bool,
     ) -> AccessOutcome {
+        self.access_impl::<true>(line, part, is_write)
+    }
+
+    /// [`CacheBank::access_rw`] without materializing the evicted line.
+    ///
+    /// The replacement decision, statistics, and returned `hit`/`writeback`
+    /// are identical to `access_rw`; only `evicted` is always `None`. The
+    /// detailed simulator uses this entry point: it never consumes the
+    /// evicted address, and skipping it removes two dependent loads from
+    /// the victim slot on every fill.
+    #[inline]
+    pub fn access_untracked(
+        &mut self,
+        line: LineAddr,
+        part: PartitionId,
+        is_write: bool,
+    ) -> AccessOutcome {
+        self.access_impl::<false>(line, part, is_write)
+    }
+
+    /// Shared access core; `TRACK` selects whether the evicted line is
+    /// reported (monomorphized, so the untracked path pays nothing).
+    #[inline]
+    fn access_impl<const TRACK: bool>(
+        &mut self,
+        line: LineAddr,
+        part: PartitionId,
+        is_write: bool,
+    ) -> AccessOutcome {
         self.stamp += 1;
-        let si = self.set_of(line);
+        let (si, tag) = self.split(line);
+        let base = si * self.ways;
 
         // Hit path: hits are allowed anywhere in the set (CAT restricts
         // insertion, not lookup).
-        if let Some(w) = self.find_way(si, line) {
-            self.promote(si, w);
-            if is_write {
-                if let Some(l) = &mut self.sets[si][w] {
-                    l.dirty = true;
-                }
+        if let Some(w) = self.find_way(si, tag) {
+            let rslot = self.meta_base(si) + self.ways + w;
+            match self.cfg.policy {
+                ReplPolicy::Lru => self.stamps[base + w] = self.stamp,
+                _ => self.meta[rslot] = 0,
             }
+            self.vd[si][VD_DIRTY] |= u64::from(is_write) << w;
             self.stats.record(part, true);
             return AccessOutcome {
                 hit: true,
@@ -365,17 +534,29 @@ impl CacheBank {
                 writeback: false,
             };
         }
-        let victim_way = self.pick_victim(si, mask);
-        let victim = self.sets[si][victim_way];
-        let evicted = victim.map(|l| (l.tag, l.part));
-        let writeback = victim.map(|l| l.dirty).unwrap_or(false);
-        let repl = self.insertion_state(si);
-        self.sets[si][victim_way] = Some(Line {
-            tag: line,
-            part,
-            repl,
-            dirty: is_write,
-        });
+        let w = self.pick_victim(si, mask);
+        let slot = base + w;
+        let bit = 1u64 << w;
+        let was_valid = self.vd[si][VD_VALID] & bit != 0;
+        let evicted = if TRACK && was_valid {
+            let s = self.slots[slot];
+            Some((self.join(si, s.tag), PartitionId(s.part as usize)))
+        } else {
+            None
+        };
+        let writeback = was_valid && self.vd[si][VD_DIRTY] & bit != 0;
+        let mb = self.meta_base(si);
+        match self.insertion_state(si) {
+            ReplState::Lru { stamp } => self.stamps[slot] = stamp,
+            ReplState::Rrip { rrpv } => self.meta[mb + self.ways + w] = rrpv,
+        }
+        self.slots[slot] = Slot {
+            tag,
+            part: Self::owner_of(part),
+        };
+        self.meta[mb + w] = Self::tag_hash(tag);
+        self.vd[si][VD_VALID] |= bit;
+        self.vd[si][VD_DIRTY] = (self.vd[si][VD_DIRTY] & !bit) | (u64::from(is_write) << w);
         AccessOutcome {
             hit: false,
             evicted,
@@ -383,20 +564,54 @@ impl CacheBank {
         }
     }
 
-    fn find_way(&self, si: usize, line: LineAddr) -> Option<usize> {
-        self.sets[si]
-            .iter()
-            .position(|slot| slot.map(|l| l.tag == line).unwrap_or(false))
-    }
-
-    fn promote(&mut self, si: usize, way: usize) {
-        let stamp = self.stamp;
-        if let Some(line) = &mut self.sets[si][way] {
-            line.repl = match self.cfg.policy {
-                ReplPolicy::Lru => ReplState::Lru { stamp },
-                _ => ReplState::Rrip { rrpv: 0 },
-            };
+    /// First way of set `si` holding set-relative tag `tag` (ascending way
+    /// order, matching a physical parallel tag compare).
+    ///
+    /// Scans the set's 8-bit partial-tag row eight ways at a time (SWAR
+    /// zero-byte detection on a `u64`), then verifies candidate ways
+    /// against the full tags in ascending order. A miss usually never
+    /// touches the slot array at all — one 32-byte filter row replaces a
+    /// 256-byte slot row on the most common path. The zero-byte formula
+    /// may flag the byte after a genuine match (borrow propagation); such
+    /// false candidates are rejected by the full tag compare, which also
+    /// rejects empty slots ([`NO_TAG`] never equals a real tag).
+    #[inline]
+    fn find_way(&self, si: usize, tag: u32) -> Option<usize> {
+        const LO: u64 = 0x0101_0101_0101_0101;
+        const HI: u64 = 0x8080_8080_8080_8080;
+        let bcast = LO * u64::from(Self::tag_hash(tag));
+        let mb = self.meta_base(si);
+        let frow = &self.meta[mb..mb + self.ways];
+        let base = si * self.ways;
+        // Accumulate one candidate bit per way across all chunks before
+        // branching at all: per-chunk early exits would add a ~50%
+        // mispredicted branch per chunk, and the scan is pure ALU work.
+        let mut cand: u64 = 0;
+        let mut chunks = frow.chunks_exact(8);
+        let mut start = 0usize;
+        for c in chunks.by_ref() {
+            let v = u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")) ^ bcast;
+            let z = v.wrapping_sub(LO) & !v & HI;
+            // Gather the per-byte match bits into 8 contiguous candidate
+            // bits (the classic LSB-gather multiplier: byte k's bit lands
+            // at position 56 + k, collision- and carry-free).
+            const PACK: u64 = 0x0102_0408_1020_4080;
+            let m8 = (z >> 7).wrapping_mul(PACK) >> 56;
+            cand |= m8 << start;
+            start += 8;
         }
+        let h = Self::tag_hash(tag);
+        for (i, &f) in chunks.remainder().iter().enumerate() {
+            cand |= u64::from(f == h) << (start + i);
+        }
+        while cand != 0 {
+            let w = cand.trailing_zeros() as usize;
+            if self.slots[base + w].tag == tag {
+                return Some(w);
+            }
+            cand &= cand - 1;
+        }
+        None
     }
 
     /// Role of a set in DRRIP set-dueling.
@@ -462,67 +677,106 @@ impl CacheBank {
     /// Picks a victim way within `mask`, preferring invalid ways.
     fn pick_victim(&mut self, si: usize, mask: WayMask) -> usize {
         debug_assert!(!mask.is_empty());
-        // Invalid way first.
-        for w in 0..self.cfg.ways {
-            if mask.contains(w) && self.sets[si][w as usize].is_none() {
-                return w as usize;
-            }
+        let base = si * self.ways;
+        let rbase = self.meta_base(si) + self.ways;
+        let avail = mask.0 & self.ways_mask();
+        // Invalid way first: lowest allowed way whose valid bit is clear.
+        let invalid = avail & !self.vd[si][VD_VALID];
+        if invalid != 0 {
+            return invalid.trailing_zeros() as usize;
         }
+        // Every allowed way is valid from here on.
         match self.cfg.policy {
             ReplPolicy::Lru => {
-                let mut best = None;
+                let mut best = 0;
                 let mut best_stamp = u64::MAX;
-                for w in 0..self.cfg.ways {
-                    if !mask.contains(w) {
-                        continue;
+                let mut v = avail;
+                while v != 0 {
+                    let w = v.trailing_zeros() as usize;
+                    let stamp = self.stamps[base + w];
+                    if stamp < best_stamp {
+                        best_stamp = stamp;
+                        best = w;
                     }
-                    if let Some(Line {
-                        repl: ReplState::Lru { stamp },
-                        ..
-                    }) = self.sets[si][w as usize]
-                    {
-                        if stamp < best_stamp {
-                            best_stamp = stamp;
-                            best = Some(w as usize);
-                        }
-                    }
+                    v &= v - 1;
                 }
-                best.expect("mask has at least one valid LRU line")
+                best
             }
-            _ => loop {
-                // Find a way at the policy's max RRPV within the mask;
-                // otherwise age the masked ways and retry. Aging is
+            _ => {
+                // Find the lowest way at the policy's max RRPV within the
+                // mask; otherwise age the masked ways and retry. Aging is
                 // restricted to the mask so partitions cannot perturb each
                 // other's RRPVs (content isolation); the *policy choice*
                 // still leaks via PSEL.
+                //
+                // Both the scan and the aging are SWAR over the contiguous
+                // RRPV row, eight ways per `u64`: masked RRPVs never exceed
+                // `rrpv_max() <= 3`, so byte-wise adds cannot carry, and
+                // the exact zero-byte formula (no borrow propagation, so no
+                // false positives that could change the victim) finds
+                // `rrpv == max` bytes. `trailing_zeros` preserves the
+                // lowest-way-first order of the scalar loop.
+                const LO: u64 = 0x0101_0101_0101_0101;
+                const HI: u64 = 0x8080_8080_8080_8080;
+                /// High bit of each byte whose way-mask bit is set.
+                #[inline]
+                fn byte_mask(m8: u8) -> u64 {
+                    const LO: u64 = 0x0101_0101_0101_0101;
+                    const HI: u64 = 0x8080_8080_8080_8080;
+                    const SPREAD: u64 = 0x8040_2010_0804_0201;
+                    ((u64::from(m8) * LO) & SPREAD).wrapping_add(!HI) & HI
+                }
                 let max = self.cfg.policy.rrpv_max();
-                for w in 0..self.cfg.ways {
-                    if !mask.contains(w) {
-                        continue;
-                    }
-                    if let Some(Line {
-                        repl: ReplState::Rrip { rrpv },
-                        ..
-                    }) = self.sets[si][w as usize]
-                    {
-                        if rrpv >= max {
-                            return w as usize;
+                let bmax = LO * u64::from(max);
+                let full = self.ways & !7;
+                loop {
+                    let mut start = 0usize;
+                    while start < full {
+                        let m8 = (avail >> start) as u8;
+                        if m8 != 0 {
+                            let row = u64::from_le_bytes(
+                                self.meta[rbase + start..rbase + start + 8]
+                                    .try_into()
+                                    .expect("row chunk is 8 bytes"),
+                            );
+                            // High bit per byte equal to `max` (exact — an
+                            // inexact zero-detect could pick a wrong way).
+                            let x = row ^ bmax;
+                            let z = !(((x & !HI).wrapping_add(!HI)) | x) & byte_mask(m8);
+                            if z != 0 {
+                                return start + (z.trailing_zeros() as usize >> 3);
+                            }
                         }
+                        start += 8;
+                    }
+                    let mut v = avail >> full;
+                    while v != 0 {
+                        let w = full + v.trailing_zeros() as usize;
+                        if self.meta[rbase + w] >= max {
+                            return w;
+                        }
+                        v &= v - 1;
+                    }
+                    let mut start = 0usize;
+                    while start < full {
+                        let m8 = (avail >> start) as u8;
+                        if m8 != 0 {
+                            let inc = byte_mask(m8) >> 7;
+                            let span = &mut self.meta[rbase + start..rbase + start + 8];
+                            let row =
+                                u64::from_le_bytes(span.try_into().expect("row chunk is 8 bytes"));
+                            span.copy_from_slice(&row.wrapping_add(inc).to_le_bytes());
+                        }
+                        start += 8;
+                    }
+                    let mut v = avail >> full;
+                    while v != 0 {
+                        let w = full + v.trailing_zeros() as usize;
+                        self.meta[rbase + w] += 1;
+                        v &= v - 1;
                     }
                 }
-                for w in 0..self.cfg.ways {
-                    if !mask.contains(w) {
-                        continue;
-                    }
-                    if let Some(Line {
-                        repl: ReplState::Rrip { rrpv },
-                        ..
-                    }) = &mut self.sets[si][w as usize]
-                    {
-                        *rrpv += 1;
-                    }
-                }
-            },
+            }
         }
     }
 }

@@ -7,9 +7,19 @@
 //! approximated by their convex hull (Talus, Sec. IV-A).
 
 use crate::{LineAddr, MissCurve};
+use nuca_types::hash::Mix64Build;
 use std::collections::HashMap;
 
 /// One-pass LRU stack-distance profiler (Mattson's algorithm).
+///
+/// Instead of materializing the LRU stack as a `Vec` and paying an O(n)
+/// scan-and-shift per access, the profiler keeps an *order-statistic*
+/// view of it: a Fenwick (binary-indexed) tree over access positions, in
+/// which bit *t* is set iff position *t* is the most recent access of
+/// some line. The stack depth of a reuse is then "how many distinct lines
+/// were touched since this line's last access" — a prefix-sum difference,
+/// O(log n) — and moving a line to the top of the stack is one bit clear
+/// plus one bit append.
 ///
 /// # Examples
 ///
@@ -28,10 +38,12 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct StackProfiler {
-    /// LRU stack: index 0 is MRU.
-    stack: Vec<LineAddr>,
-    /// Position cache for O(1) membership checks.
-    pos: HashMap<LineAddr, ()>,
+    /// Fenwick tree over positions `1..=accesses` (1-indexed; slot 0
+    /// unused). Node `t` stores the count of set bits in
+    /// `(t - lowbit(t), t]`.
+    tree: Vec<u32>,
+    /// Most recent access position of each line seen so far (1-based).
+    last: HashMap<LineAddr, usize, Mix64Build>,
     /// Histogram of reuse distances (in lines).
     hist: Vec<u64>,
     /// Cold (first-touch) accesses.
@@ -42,7 +54,10 @@ pub struct StackProfiler {
 impl StackProfiler {
     /// Creates an empty profiler.
     pub fn new() -> StackProfiler {
-        StackProfiler::default()
+        StackProfiler {
+            tree: vec![0],
+            ..StackProfiler::default()
+        }
     }
 
     /// Number of accesses observed.
@@ -57,31 +72,70 @@ impl StackProfiler {
 
     /// Number of distinct lines observed (the footprint).
     pub fn footprint_lines(&self) -> usize {
-        self.stack.len()
+        self.last.len()
+    }
+
+    /// Count of set bits in positions `1..=t`.
+    #[inline]
+    fn prefix(&self, mut t: usize) -> u32 {
+        let mut sum = 0;
+        while t > 0 {
+            sum += self.tree[t];
+            t -= t & t.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Clears the bit at position `p`.
+    #[inline]
+    fn clear(&mut self, mut p: usize) {
+        let n = self.tree.len() - 1;
+        while p <= n {
+            self.tree[p] -= 1;
+            p += p & p.wrapping_neg();
+        }
+    }
+
+    /// Appends a set bit at the next position (the classic Fenwick append:
+    /// the new node's value is derived from the prefix sums already in the
+    /// tree, so no rebuild is needed as the trace grows).
+    #[inline]
+    fn append_set(&mut self) {
+        let t = self.tree.len();
+        let lowbit = t & t.wrapping_neg();
+        let node = 1 + self.prefix(t - 1) - self.prefix(t - lowbit);
+        self.tree.push(node);
     }
 
     /// Records one access and returns its stack distance in lines
     /// (`None` for a cold first touch).
     pub fn record(&mut self, line: LineAddr) -> Option<usize> {
         self.accesses += 1;
-        if let std::collections::hash_map::Entry::Vacant(e) = self.pos.entry(line) {
-            e.insert(());
-            self.stack.insert(0, line);
-            self.cold += 1;
-            None
-        } else {
-            let depth = self
-                .stack
-                .iter()
-                .position(|&l| l == line)
-                .expect("pos map and stack agree");
-            self.stack.remove(depth);
-            self.stack.insert(0, line);
-            if self.hist.len() <= depth {
-                self.hist.resize(depth + 1, 0);
+        if self.tree.is_empty() {
+            // A profiler built via `Default` rather than `new`.
+            self.tree.push(0);
+        }
+        let t = self.tree.len(); // position of this access (1-based)
+        match self.last.entry(line) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(t);
+                self.cold += 1;
+                self.append_set();
+                None
             }
-            self.hist[depth] += 1;
-            Some(depth)
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let p = *e.get();
+                e.insert(t);
+                // Depth = distinct lines whose latest access is after `p`.
+                let depth = (self.prefix(t - 1) - self.prefix(p)) as usize;
+                self.clear(p);
+                self.append_set();
+                if self.hist.len() <= depth {
+                    self.hist.resize(depth + 1, 0);
+                }
+                self.hist[depth] += 1;
+                Some(depth)
+            }
         }
     }
 

@@ -32,6 +32,15 @@ const TARGET: Duration = Duration::from_millis(200);
 /// Iteration cap so pathological benches still terminate promptly.
 const MAX_ITERS: u64 = 1_000_000;
 
+/// True when `JUMANJI_BENCH_SMOKE=1`: each bench runs exactly one timed
+/// iteration. CI uses this to prove every bench still compiles and runs
+/// without paying full measurement time; the reported numbers are noise.
+fn smoke_mode() -> bool {
+    std::env::var("JUMANJI_BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
 /// The timing loop handed to each benchmark closure.
 #[derive(Debug, Default)]
 pub struct Bencher {
@@ -46,6 +55,10 @@ impl Bencher {
         let start = Instant::now();
         black_box(f());
         let once = start.elapsed().max(Duration::from_nanos(1));
+        if smoke_mode() {
+            self.last_mean_ns = once.as_nanos() as f64;
+            return;
+        }
         let iters = (TARGET.as_nanos() / once.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
         let start = Instant::now();
         for _ in 0..iters {
@@ -173,5 +186,19 @@ mod tests {
     #[test]
     fn group_macro_compiles_and_runs() {
         test_group();
+    }
+
+    #[test]
+    fn smoke_mode_runs_a_single_iteration() {
+        std::env::set_var("JUMANJI_BENCH_SMOKE", "1");
+        let mut calls = 0u64;
+        let mut b = Bencher::default();
+        b.iter(|| {
+            calls += 1;
+            black_box(calls)
+        });
+        std::env::remove_var("JUMANJI_BENCH_SMOKE");
+        assert_eq!(calls, 1);
+        assert!(b.last_mean_ns > 0.0);
     }
 }

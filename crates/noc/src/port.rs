@@ -7,7 +7,6 @@
 //! (Sec. VI-B, Fig. 11); [`BankPorts`] reproduces the timing behaviour.
 
 use nuca_types::Cycles;
-use std::collections::BinaryHeap;
 
 /// Cumulative statistics of one bank's ports.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -49,9 +48,10 @@ impl PortStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct BankPorts {
-    /// Min-heap of cycles at which each port becomes free (stored negated
-    /// inside `std::cmp::Reverse`).
-    free_at: BinaryHeap<std::cmp::Reverse<u64>>,
+    /// Cycle at which each port becomes free. Banks have a handful of
+    /// ports (one, per Table II), so a linear min scan over this flat
+    /// vector beats a binary heap's pop/push on the simulator hot path.
+    free_at: Vec<u64>,
     occupancy: Cycles,
     stats: PortStats,
 }
@@ -75,12 +75,8 @@ impl BankPorts {
     pub fn new(ports: u32, occupancy: Cycles) -> BankPorts {
         assert!(ports > 0, "need at least one port");
         assert!(occupancy.as_u64() > 0, "occupancy must be nonzero");
-        let mut free_at = BinaryHeap::with_capacity(ports as usize);
-        for _ in 0..ports {
-            free_at.push(std::cmp::Reverse(0));
-        }
         BankPorts {
-            free_at,
+            free_at: vec![0; ports as usize],
             occupancy,
             stats: PortStats::default(),
         }
@@ -91,10 +87,15 @@ impl BankPorts {
     /// per caller, but multiple interleaved callers are fine — the port is
     /// granted in call order, modeling a FIFO arbiter.
     pub fn request(&mut self, arrival: Cycles) -> Grant {
-        let std::cmp::Reverse(free) = self.free_at.pop().expect("port heap is never empty");
-        let start = arrival.as_u64().max(free);
+        let mut earliest = 0;
+        for (i, &f) in self.free_at.iter().enumerate() {
+            if f < self.free_at[earliest] {
+                earliest = i;
+            }
+        }
+        let start = arrival.as_u64().max(self.free_at[earliest]);
         let done = start + self.occupancy.as_u64();
-        self.free_at.push(std::cmp::Reverse(done));
+        self.free_at[earliest] = done;
         self.stats.requests += 1;
         self.stats.queue_cycles += start - arrival.as_u64();
         self.stats.busy_cycles += self.occupancy.as_u64();

@@ -283,14 +283,57 @@ fn run_with(
     let mut clocks = vec![0u64; n];
     let mut stats = vec![DetailAppStats::default(); n];
     let mut tlbs: Vec<Tlb> = (0..n).map(|_| Tlb::new(opts.tlb_entries)).collect();
-    // Cheap deterministic write-marking LCG.
+    // Cheap deterministic write-marking LCG. The draw is a 31-bit integer
+    // x compared against `frac` as x * 2^-31 < frac; both sides of that
+    // float compare are exact (scaling by a power of two never rounds), so
+    // it is equivalent to the pure integer compare x < ceil(frac * 2^31) —
+    // bit-identical outcome, no int→float conversion in the loop.
+    let wthresh = (opts.write_frac * (1u64 << 31) as f64).ceil() as u64;
     let mut wstate: u64 = 0x5DEECE66D ^ opts.seed;
-    let mut is_write = |frac: f64| {
+    let mut is_write = || {
         wstate = wstate
             .wrapping_mul(6364136223846793005)
             .wrapping_add(1442695040888963407);
-        ((wstate >> 33) as f64 / (1u64 << 31) as f64) < frac
+        (wstate >> 33) < wthresh
     };
+
+    // Everything the per-access code needs that depends only on
+    // (core, bank) or bank alone is table-driven: the mesh geometry and
+    // NoC latencies are loop invariants, so the hot loop does flat-array
+    // reads instead of re-deriving hop counts and flit serialization.
+    let nbanks = cfg.llc.num_banks;
+    let ncores = cores.iter().map(|c| c.index()).max().unwrap_or(0) + 1;
+    let mut hops_tab = vec![0u64; ncores * nbanks];
+    let mut req_tab = vec![0u64; ncores * nbanks];
+    let mut tail_tab = vec![0u64; ncores * nbanks];
+    for c in 0..ncores {
+        for b in 0..nbanks {
+            let hops = mesh.hops_core_to_bank(CoreId(c), nuca_types::BankId(b));
+            hops_tab[c * nbanks + b] = hops as u64;
+            req_tab[c * nbanks + b] = noc.oneway(hops, 8).as_u64();
+            tail_tab[c * nbanks + b] =
+                cfg.llc.bank_latency.as_u64() + noc.oneway(hops, 64).as_u64();
+        }
+    }
+    let mut corner_tab = vec![0u64; nbanks];
+    let mut pen_tab = vec![0u64; nbanks];
+    let mut ctrl_tab = vec![0usize; nbanks];
+    for b in 0..nbanks {
+        let bank = nuca_types::BankId(b);
+        corner_tab[b] = noc
+            .oneway(mesh.hops_to_nearest_corner(mesh.bank_tile(bank)), 8)
+            .as_u64();
+        pen_tab[b] = noc.miss_penalty(bank).as_u64();
+        ctrl_tab[b] = mem.controller_for_bank(bank);
+    }
+    let core_base: Vec<usize> = cores.iter().map(|c| c.index() * nbanks).collect();
+
+    // Latency and hop totals are integers; accumulate them as integers and
+    // convert once at the end. Summing exact integers below 2^53 in f64
+    // would give the same bits, so the reported floats are unchanged — but
+    // the loop drops two int→float conversions and float adds per access.
+    let mut lat_acc = vec![0u64; n];
+    let mut hop_acc = vec![0u64; n];
 
     for k in 0..opts.accesses_per_app {
         for a in 0..n {
@@ -301,24 +344,22 @@ fn run_with(
             let walk = if tlb_hit { 0 } else { opts.tlb_miss_cycles };
             clocks[a] += walk;
             let bank = vtb.lookup(AppId(a), line);
-            let hops = mesh.hops_core_to_bank(cores[a], bank) as u64;
-            let req = noc.oneway(hops as usize, 8).as_u64();
+            let bi = bank.index();
+            let cell = core_base[a] + bi;
+            let hops = hops_tab[cell];
+            let req = req_tab[cell];
             let arrival = clocks[a] + req;
-            let grant = ports[bank.index()].request(nuca_types::Cycles(arrival));
+            let grant = ports[bi].request(nuca_types::Cycles(arrival));
             let wait = grant.start.as_u64() - arrival;
-            let write = is_write(opts.write_frac);
-            let outcome = banks[bank.index()].access_rw(line, PartitionId(a), write);
-            let mut latency =
-                req + wait + cfg.llc.bank_latency.as_u64() + noc.oneway(hops as usize, 64).as_u64();
+            let write = is_write();
+            let outcome = banks[bi].access_untracked(line, PartitionId(a), write);
+            let mut latency = req + wait + tail_tab[cell];
             if !outcome.hit {
-                let ctrl = mem.controller_for_bank(bank);
-                let mem_arrival = grant.done.as_u64()
-                    + noc
-                        .oneway(mesh.hops_to_nearest_corner(mesh.bank_tile(bank)), 8)
-                        .as_u64();
+                let ctrl = ctrl_tab[bi];
+                let mem_arrival = grant.done.as_u64() + corner_tab[bi];
                 let mgrant = channels[ctrl].request(nuca_types::Cycles(mem_arrival));
                 let mwait = mgrant.start.as_u64() - mem_arrival;
-                latency += noc.miss_penalty(bank).as_u64() + mwait;
+                latency += pen_tab[bi] + mwait;
                 if outcome.writeback {
                     // Write-backs consume channel bandwidth off the
                     // critical path; charge occupancy only.
@@ -329,12 +370,16 @@ fn run_with(
             let s = &mut stats[a];
             s.accesses += 1;
             s.misses += u64::from(!outcome.hit);
-            s.total_latency += (latency + walk) as f64;
-            s.total_hops += hops as f64;
             s.port_wait += wait;
             s.tlb_misses += u64::from(!tlb_hit);
+            lat_acc[a] += latency + walk;
+            hop_acc[a] += hops;
             clocks[a] += latency;
         }
+    }
+    for (s, (&lat, &hop)) in stats.iter_mut().zip(lat_acc.iter().zip(&hop_acc)) {
+        s.total_latency = lat as f64;
+        s.total_hops = hop as f64;
     }
 
     let bank_occupants = (0..cfg.llc.num_banks)

@@ -22,6 +22,73 @@ pub fn mix64(v: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// A [`std::hash::BuildHasher`] wrapping [`mix64`], for hot-path hash maps
+/// keyed by addresses or ids.
+///
+/// SipHash (the standard-library default) costs tens of nanoseconds per
+/// lookup; the simulator's keys are already well-distributed integers, so
+/// a single splitmix64 round is both faster and — unlike `RandomState` —
+/// deterministic across runs, which the byte-identical-output guarantee
+/// requires of every structure on the simulated path.
+///
+/// # Examples
+///
+/// ```
+/// use nuca_types::hash::Mix64Build;
+/// use std::collections::HashMap;
+/// let mut m: HashMap<u64, u32, Mix64Build> = HashMap::default();
+/// m.insert(7, 1);
+/// assert_eq!(m.get(&7), Some(&1));
+/// ```
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Mix64Build;
+
+impl std::hash::BuildHasher for Mix64Build {
+    type Hasher = Mix64Hasher;
+    fn build_hasher(&self) -> Mix64Hasher {
+        Mix64Hasher { state: 0 }
+    }
+}
+
+/// The hasher produced by [`Mix64Build`]: folds every written word through
+/// [`mix64`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Mix64Hasher {
+    state: u64,
+}
+
+impl std::hash::Hasher for Mix64Hasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (e.g. tuple or struct keys): fold 8-byte chunks.
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.state = mix64(self.state ^ u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.state = mix64(self.state ^ v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

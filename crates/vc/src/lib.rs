@@ -27,7 +27,6 @@
 
 use nuca_types::hash::mix64;
 use nuca_types::{AppId, BankId, PageId};
-use std::collections::HashMap;
 
 /// Number of entries in a placement descriptor (matches the paper's
 /// 128-entry array, Fig. 7).
@@ -58,9 +57,24 @@ pub fn page_of_line(line: u64) -> PageId {
 ///
 /// The fraction of the VC's data in bank *b* equals the fraction of
 /// descriptor entries naming *b* (the address hash is uniform).
+///
+/// Entries are stored as single bytes so a whole descriptor occupies two
+/// cache lines (the hardware's 128 × 7-bit SRAM row, Fig. 7) — a
+/// [`Vtb::lookup`] on the simulator hot path touches one line, not
+/// sixteen. Bank ids must therefore fit in a byte.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlacementDescriptor {
-    entries: [BankId; DESCRIPTOR_ENTRIES],
+    entries: [u8; DESCRIPTOR_ENTRIES],
+}
+
+/// Narrows a bank id to the descriptor's byte-wide entry storage.
+#[inline]
+fn entry_of(b: BankId) -> u8 {
+    debug_assert!(
+        b.index() <= u8::MAX as usize,
+        "descriptor entries are byte-wide; bank ids must be < 256"
+    );
+    b.index() as u8
 }
 
 impl PlacementDescriptor {
@@ -72,9 +86,9 @@ impl PlacementDescriptor {
     /// Panics if `num_banks == 0`.
     pub fn uniform(num_banks: usize) -> PlacementDescriptor {
         assert!(num_banks > 0, "need at least one bank");
-        let mut entries = [BankId(0); DESCRIPTOR_ENTRIES];
+        let mut entries = [0u8; DESCRIPTOR_ENTRIES];
         for (i, e) in entries.iter_mut().enumerate() {
-            *e = BankId(i % num_banks);
+            *e = entry_of(BankId(i % num_banks));
         }
         PlacementDescriptor { entries }
     }
@@ -119,18 +133,18 @@ impl PlacementDescriptor {
             counts[idx].1 += 1;
             remaining -= 1;
         }
-        let mut entries = [BankId(0); DESCRIPTOR_ENTRIES];
+        let mut entries = [0u8; DESCRIPTOR_ENTRIES];
         let mut pos = 0;
         for (b, n, _) in &counts {
             for _ in 0..*n {
-                entries[pos] = *b;
+                entries[pos] = entry_of(*b);
                 pos += 1;
             }
         }
         debug_assert_eq!(pos, DESCRIPTOR_ENTRIES);
         // Interleave entries so consecutive hash values don't stick to one
         // bank: permute by a fixed stride coprime to 128.
-        let mut interleaved = [BankId(0); DESCRIPTOR_ENTRIES];
+        let mut interleaved = [0u8; DESCRIPTOR_ENTRIES];
         for (i, e) in entries.iter().enumerate() {
             interleaved[(i * 37) % DESCRIPTOR_ENTRIES] = *e;
         }
@@ -152,26 +166,39 @@ impl PlacementDescriptor {
     /// The bank holding `page` under this descriptor.
     #[inline]
     pub fn bank_for_page(&self, page: PageId) -> BankId {
-        self.entries[(mix64(page.index() as u64) % DESCRIPTOR_ENTRIES as u64) as usize]
+        BankId(
+            self.entries[(mix64(page.index() as u64) % DESCRIPTOR_ENTRIES as u64) as usize]
+                as usize,
+        )
     }
 
-    /// Per-bank capacity shares implied by the descriptor, sorted by bank.
+    /// Per-bank capacity shares implied by the descriptor, in ascending
+    /// bank order.
+    ///
+    /// Deterministic by construction (a dense per-bank count, walked in
+    /// bank order) and allocation-light: one count vector sized by the
+    /// largest bank id plus the output — no intermediate hash map.
     pub fn shares(&self) -> Vec<(BankId, f64)> {
-        let mut counts: HashMap<BankId, usize> = HashMap::new();
-        for e in &self.entries {
-            *counts.entry(*e).or_default() += 1;
+        let max_bank = *self
+            .entries
+            .iter()
+            .max()
+            .expect("descriptor is never empty") as usize;
+        let mut counts = vec![0u16; max_bank + 1];
+        for &e in &self.entries {
+            counts[e as usize] += 1;
         }
-        let mut out: Vec<(BankId, f64)> = counts
-            .into_iter()
-            .map(|(b, n)| (b, n as f64 / DESCRIPTOR_ENTRIES as f64))
-            .collect();
-        out.sort_by_key(|(b, _)| *b);
-        out
+        counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(b, &n)| (BankId(b), f64::from(n) / DESCRIPTOR_ENTRIES as f64))
+            .collect()
     }
 
     /// The set of banks with at least one entry.
     pub fn banks(&self) -> Vec<BankId> {
-        let mut v: Vec<BankId> = self.entries.to_vec();
+        let mut v: Vec<BankId> = self.entries.iter().map(|&e| BankId(e as usize)).collect();
         v.sort();
         v.dedup();
         v
@@ -195,10 +222,17 @@ impl PlacementDescriptor {
 /// The per-core virtual-cache translation buffer: VC id → descriptor.
 ///
 /// One VC per application suffices for this paper (Sec. IV-A), so VCs are
-/// keyed by [`AppId`].
+/// keyed by [`AppId`] — and since app ids are small dense integers, the
+/// table is a plain `Vec` indexed by id. A [`Vtb::lookup`] (one per
+/// simulated LLC access) is an array index plus the descriptor's hash,
+/// with no hash-map probing in the path — this mirrors the hardware,
+/// where the VTB is an SRAM indexed by VC id (Fig. 7).
 #[derive(Debug, Clone, Default)]
 pub struct Vtb {
-    descs: HashMap<AppId, PlacementDescriptor>,
+    /// Descriptor slots, indexed by `AppId`; `None` = not installed.
+    descs: Vec<Option<PlacementDescriptor>>,
+    /// Number of `Some` slots.
+    installed: usize,
 }
 
 impl Vtb {
@@ -211,12 +245,18 @@ impl Vtb {
     /// fraction of lines moved relative to the previous descriptor
     /// (1.0 for a fresh install — everything must be fetched anyway).
     pub fn install(&mut self, vc: AppId, desc: PlacementDescriptor) -> f64 {
-        let moved = self
-            .descs
-            .get(&vc)
-            .map(|old| old.moved_fraction(&desc))
-            .unwrap_or(1.0);
-        self.descs.insert(vc, desc);
+        let idx = vc.index();
+        if self.descs.len() <= idx {
+            self.descs.resize(idx + 1, None);
+        }
+        let moved = match &self.descs[idx] {
+            Some(old) => old.moved_fraction(&desc),
+            None => {
+                self.installed += 1;
+                1.0
+            }
+        };
+        self.descs[idx] = Some(desc);
         moved
     }
 
@@ -226,26 +266,28 @@ impl Vtb {
     ///
     /// Panics if `vc` has no installed descriptor — accessing an unmapped
     /// VC is a simulator bug.
+    #[inline]
     pub fn lookup(&self, vc: AppId, line: u64) -> BankId {
         self.descs
-            .get(&vc)
+            .get(vc.index())
+            .and_then(Option::as_ref)
             .unwrap_or_else(|| panic!("no descriptor installed for {vc}"))
             .bank_for(line)
     }
 
     /// The descriptor for `vc`, if installed.
     pub fn descriptor(&self, vc: AppId) -> Option<&PlacementDescriptor> {
-        self.descs.get(&vc)
+        self.descs.get(vc.index()).and_then(Option::as_ref)
     }
 
     /// Number of installed descriptors.
     pub fn len(&self) -> usize {
-        self.descs.len()
+        self.installed
     }
 
     /// True if no descriptors are installed.
     pub fn is_empty(&self) -> bool {
-        self.descs.is_empty()
+        self.installed == 0
     }
 }
 
@@ -253,7 +295,14 @@ impl Vtb {
 /// carry the VC id in this design, Sec. IV-A).
 ///
 /// Fully-associative with true-LRU replacement — small TLBs are built this
-/// way, and it keeps the model exact.
+/// way, and it keeps the model exact. The implementation is an indexed
+/// lookup rather than a recency-ordered list: an open-addressed hash index
+/// (power-of-two table, [`mix64`] probe start, backward-shift deletion)
+/// maps pages to entry slots, and the slots form an intrusive
+/// doubly-linked recency list. A hit is one index probe plus a splice to
+/// the MRU end; an eviction unlinks the list head — every operation is
+/// O(1), and the hit/miss sequence is identical to the old scan-and-shift
+/// list, since the linked list encodes exactly the same recency order.
 ///
 /// # Examples
 ///
@@ -270,11 +319,32 @@ impl Vtb {
 #[derive(Debug, Clone)]
 pub struct Tlb {
     capacity: usize,
-    /// MRU-first page stack.
-    entries: Vec<PageId>,
+    /// Resident page key per entry slot.
+    pages: Vec<u64>,
+    /// Intrusive recency list over entry slots (`TLB_NONE` = null).
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    /// LRU end of the list.
+    head: u32,
+    /// MRU end of the list.
+    tail: u32,
+    /// Occupied entry slots (they fill in order `0..capacity`).
+    len: usize,
+    /// Open-addressed index: each table slot packs
+    /// `(page key << slot_bits) | entry slot` into one `u64`
+    /// (`TLB_EMPTY` = vacant), so a probe is a single load.
+    idx: Vec<u64>,
+    /// Bit width of the entry-slot field in a packed [`Tlb::idx`] value.
+    slot_bits: u32,
     hits: u64,
     misses: u64,
 }
+
+/// Vacant index-table slot marker (no page hashes to it: page keys are
+/// page numbers, far below `u64::MAX`).
+const TLB_EMPTY: u64 = u64::MAX;
+/// Null link in the recency list.
+const TLB_NONE: u32 = u32::MAX;
 
 impl Tlb {
     /// Creates a TLB with room for `capacity` page entries.
@@ -284,27 +354,148 @@ impl Tlb {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Tlb {
         assert!(capacity > 0, "TLB needs at least one entry");
+        // 4x slots keep the probe chains at ~1 even when full.
+        let table = (capacity * 4).next_power_of_two();
+        let slot_bits = usize::BITS - (capacity - 1).leading_zeros();
         Tlb {
             capacity,
-            entries: Vec::with_capacity(capacity),
+            pages: vec![0; capacity],
+            prev: vec![TLB_NONE; capacity],
+            next: vec![TLB_NONE; capacity],
+            head: TLB_NONE,
+            tail: TLB_NONE,
+            len: 0,
+            idx: vec![TLB_EMPTY; table],
+            slot_bits,
             hits: 0,
             misses: 0,
         }
     }
 
+    /// Packs a page key and entry slot into one index value.
+    #[inline]
+    fn idx_pack(&self, key: u64, slot: u32) -> u64 {
+        debug_assert!(
+            key.checked_shl(self.slot_bits).map(|v| v >> self.slot_bits) == Some(key),
+            "page key too large to pack beside the slot field"
+        );
+        (key << self.slot_bits) | u64::from(slot)
+    }
+
+    /// Entry slot holding `key`, if resident.
+    #[inline]
+    fn idx_find(&self, key: u64) -> Option<u32> {
+        let mask = self.idx.len() - 1;
+        let smask = (1u64 << self.slot_bits) - 1;
+        let mut i = mix64(key) as usize & mask;
+        loop {
+            let v = self.idx[i];
+            if v >> self.slot_bits == key {
+                return Some((v & smask) as u32);
+            }
+            if v == TLB_EMPTY {
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Inserts `key → slot`; the key must not be present.
+    fn idx_insert(&mut self, key: u64, slot: u32) {
+        let mask = self.idx.len() - 1;
+        let mut i = mix64(key) as usize & mask;
+        while self.idx[i] != TLB_EMPTY {
+            i = (i + 1) & mask;
+        }
+        self.idx[i] = self.idx_pack(key, slot);
+    }
+
+    /// Removes `key` (must be present), backward-shifting displaced
+    /// entries so probe chains never need tombstones.
+    fn idx_remove(&mut self, key: u64) {
+        let mask = self.idx.len() - 1;
+        let mut i = mix64(key) as usize & mask;
+        while self.idx[i] >> self.slot_bits != key {
+            i = (i + 1) & mask;
+        }
+        let mut j = i;
+        loop {
+            self.idx[i] = TLB_EMPTY;
+            loop {
+                j = (j + 1) & mask;
+                let v = self.idx[j];
+                if v == TLB_EMPTY {
+                    return;
+                }
+                // An entry at `j` may fill the hole at `i` only if its
+                // ideal slot does not lie in `(i, j]` — otherwise moving
+                // it would break its own probe chain.
+                let ideal = mix64(v >> self.slot_bits) as usize & mask;
+                if (j.wrapping_sub(ideal) & mask) >= (j.wrapping_sub(i) & mask) {
+                    self.idx[i] = v;
+                    i = j;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Unlinks `slot` from the recency list.
+    #[inline]
+    fn unlink(&mut self, slot: u32) {
+        let (p, n) = (self.prev[slot as usize], self.next[slot as usize]);
+        if p == TLB_NONE {
+            self.head = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n == TLB_NONE {
+            self.tail = p;
+        } else {
+            self.prev[n as usize] = p;
+        }
+    }
+
+    /// Appends `slot` at the MRU end.
+    #[inline]
+    fn push_mru(&mut self, slot: u32) {
+        self.prev[slot as usize] = self.tail;
+        self.next[slot as usize] = TLB_NONE;
+        if self.tail == TLB_NONE {
+            self.head = slot;
+        } else {
+            self.next[self.tail as usize] = slot;
+        }
+        self.tail = slot;
+    }
+
     /// Looks up `page`, filling on a miss; returns whether it hit.
+    #[inline]
     pub fn access(&mut self, page: PageId) -> bool {
-        if let Some(i) = self.entries.iter().position(|&p| p == page) {
-            self.entries.remove(i);
-            self.entries.insert(0, page);
+        let key = page.index() as u64;
+        debug_assert!(key != TLB_EMPTY, "the all-ones page id is reserved");
+        if let Some(slot) = self.idx_find(key) {
             self.hits += 1;
+            if self.tail != slot {
+                self.unlink(slot);
+                self.push_mru(slot);
+            }
             true
         } else {
-            if self.entries.len() == self.capacity {
-                self.entries.pop();
-            }
-            self.entries.insert(0, page);
             self.misses += 1;
+            let slot = if self.len < self.capacity {
+                let s = self.len as u32;
+                self.len += 1;
+                s
+            } else {
+                let victim = self.head;
+                self.idx_remove(self.pages[victim as usize]);
+                self.unlink(victim);
+                victim
+            };
+            self.pages[slot as usize] = key;
+            self.push_mru(slot);
+            self.idx_insert(key, slot);
             false
         }
     }
@@ -333,11 +524,22 @@ impl Tlb {
 /// The OS page table fragment mapping pages to virtual caches.
 ///
 /// In real hardware the VC id rides along in the TLB; the simulator only
-/// needs the mapping itself.
+/// needs the mapping itself. Stored as a dense open-addressed table
+/// (power-of-two capacity, [`mix64`] probe start, linear probing) rather
+/// than a `HashMap`: one flat `Vec` of slots, no per-entry boxing, and a
+/// deterministic layout. Pages are only ever assigned or re-assigned,
+/// never removed, so linear probing needs no tombstones.
 #[derive(Debug, Clone, Default)]
 pub struct PageMap {
-    pages: HashMap<PageId, AppId>,
+    /// Slot array; `None` = empty. Length is always a power of two (or
+    /// zero before the first assignment).
+    slots: Vec<Option<(PageId, AppId)>>,
+    /// Number of occupied slots.
+    len: usize,
 }
+
+/// Initial slot count for a fresh [`PageMap`].
+const PAGEMAP_INITIAL_SLOTS: usize = 64;
 
 impl PageMap {
     /// An empty page map.
@@ -345,25 +547,70 @@ impl PageMap {
         PageMap::default()
     }
 
+    /// Probe start for `page` in a table of `slots` entries.
+    #[inline]
+    fn probe_start(page: PageId, slots: usize) -> usize {
+        (mix64(page.index() as u64) & (slots as u64 - 1)) as usize
+    }
+
+    /// Finds the slot holding `page`, or the empty slot where it belongs.
+    #[inline]
+    fn slot_of(&self, page: PageId) -> usize {
+        debug_assert!(!self.slots.is_empty());
+        let cap = self.slots.len();
+        let mut i = PageMap::probe_start(page, cap);
+        loop {
+            match &self.slots[i] {
+                Some((p, _)) if *p == page => return i,
+                None => return i,
+                _ => i = (i + 1) & (cap - 1),
+            }
+        }
+    }
+
+    /// Doubles the table and re-inserts every entry.
+    fn grow(&mut self) {
+        let cap = (self.slots.len() * 2).max(PAGEMAP_INITIAL_SLOTS);
+        let old = std::mem::replace(&mut self.slots, vec![None; cap]);
+        for entry in old.into_iter().flatten() {
+            let slot = self.slot_of(entry.0);
+            self.slots[slot] = Some(entry);
+        }
+    }
+
     /// Assigns `page` to `vc`, returning the previous owner if any (a page
     /// changing VCs triggers the coherence walk).
     pub fn assign(&mut self, page: PageId, vc: AppId) -> Option<AppId> {
-        self.pages.insert(page, vc)
+        // Keep the load factor at or below 1/2.
+        if self.slots.len() < 2 * (self.len + 1) {
+            self.grow();
+        }
+        let slot = self.slot_of(page);
+        match self.slots[slot].replace((page, vc)) {
+            Some((_, prev)) => Some(prev),
+            None => {
+                self.len += 1;
+                None
+            }
+        }
     }
 
     /// The VC owning `page`, if mapped.
     pub fn vc_of(&self, page: PageId) -> Option<AppId> {
-        self.pages.get(&page).copied()
+        if self.slots.is_empty() {
+            return None;
+        }
+        self.slots[self.slot_of(page)].map(|(_, vc)| vc)
     }
 
     /// Number of mapped pages.
     pub fn len(&self) -> usize {
-        self.pages.len()
+        self.len
     }
 
     /// True if no pages are mapped.
     pub fn is_empty(&self) -> bool {
-        self.pages.is_empty()
+        self.len == 0
     }
 }
 
@@ -443,6 +690,89 @@ mod tests {
     #[should_panic(expected = "no descriptor installed")]
     fn vtb_lookup_unmapped_panics() {
         Vtb::new().lookup(AppId(3), 0);
+    }
+
+    /// The old recency-ordered-list TLB, kept as a reference model: MRU at
+    /// the front, hits shift to the front, misses evict the back.
+    struct ReferenceTlb {
+        capacity: usize,
+        entries: Vec<PageId>,
+    }
+
+    impl ReferenceTlb {
+        fn access(&mut self, page: PageId) -> bool {
+            if let Some(i) = self.entries.iter().position(|&p| p == page) {
+                self.entries.remove(i);
+                self.entries.insert(0, page);
+                true
+            } else {
+                if self.entries.len() == self.capacity {
+                    self.entries.pop();
+                }
+                self.entries.insert(0, page);
+                false
+            }
+        }
+    }
+
+    /// The detailed simulator's page-locality pattern: mostly re-touches
+    /// of a hot page set, with a streaming tail of fresh pages.
+    fn page_locality_trace(n: usize) -> Vec<PageId> {
+        let mut state = 0x5DEECE66Du64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        (0..n)
+            .map(|i| {
+                let r = next();
+                if r % 10 < 9 {
+                    PageId((r % 96) as usize) // hot region
+                } else {
+                    PageId(10_000 + i) // streaming cold page
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn indexed_tlb_matches_reference_lru_hit_miss_sequence() {
+        let trace = page_locality_trace(20_000);
+        for capacity in [1, 2, 16, 64, 128] {
+            let mut tlb = Tlb::new(capacity);
+            let mut reference = ReferenceTlb {
+                capacity,
+                entries: Vec::new(),
+            };
+            for (i, &p) in trace.iter().enumerate() {
+                assert_eq!(
+                    tlb.access(p),
+                    reference.access(p),
+                    "capacity {capacity}: diverged at access {i} (page {p:?})"
+                );
+            }
+            assert!(tlb.hits() > 0 && tlb.misses() > 0, "trace exercises both");
+        }
+    }
+
+    #[test]
+    fn page_map_survives_growth_and_collisions() {
+        let mut pm = PageMap::new();
+        // Far more pages than the initial table, forcing several doublings
+        // and plenty of probe collisions.
+        for i in 0..10_000usize {
+            assert_eq!(pm.assign(PageId(i * 7919), AppId(i % 20)), None);
+        }
+        assert_eq!(pm.len(), 10_000);
+        for i in 0..10_000usize {
+            assert_eq!(pm.vc_of(PageId(i * 7919)), Some(AppId(i % 20)));
+        }
+        assert_eq!(pm.vc_of(PageId(3)), None);
+        // Reassignment reports the old owner and does not change the count.
+        assert_eq!(pm.assign(PageId(0), AppId(5)), Some(AppId(0)));
+        assert_eq!(pm.len(), 10_000);
     }
 
     #[test]

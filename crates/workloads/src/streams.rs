@@ -49,8 +49,12 @@ enum Region {
 #[derive(Debug, Clone)]
 pub struct StreamGenerator {
     rng: SmallRng,
-    /// `(cumulative probability, region)` for roulette selection.
-    regions: Vec<(f64, Region)>,
+    /// Cumulative probability bound per region, for roulette selection.
+    /// Kept apart from `regions` so the per-access scan reads a compact
+    /// array (one cache line for typical shapes) instead of striding
+    /// through enum payloads.
+    cum: Vec<f64>,
+    regions: Vec<Region>,
 }
 
 impl StreamGenerator {
@@ -136,8 +140,10 @@ impl StreamGenerator {
         if let Some((c, _)) = regions.last_mut() {
             *c = 1.0;
         }
+        let (cum, regions) = regions.into_iter().unzip();
         StreamGenerator {
             rng: SmallRng::seed_from_u64(seed ^ (app_index as u64).wrapping_mul(0xA5A5_5A5A)),
+            cum,
             regions,
         }
     }
@@ -145,12 +151,17 @@ impl StreamGenerator {
     /// The next line address in the stream.
     pub fn next_line(&mut self) -> LineAddr {
         let u: f64 = self.rng.gen_range(0.0..1.0);
-        let idx = self
-            .regions
-            .iter()
-            .position(|(c, _)| u <= *c)
-            .unwrap_or(self.regions.len() - 1);
-        match &mut self.regions[idx].1 {
+        // Branch-free roulette: the number of cumulative bounds strictly
+        // below `u` is exactly the first index with `u <= cum[idx]` (the
+        // bounds ascend), and counting avoids a data-dependent branch per
+        // region. The clamp covers the floating-point edge where `u`
+        // exceeds every bound.
+        let mut idx = 0usize;
+        for &c in &self.cum {
+            idx += usize::from(c < u);
+        }
+        let idx = idx.min(self.regions.len() - 1);
+        match &mut self.regions[idx] {
             Region::Hot { base, lines } => *base + self.rng.gen_range(0..*lines),
             Region::Cyclic { base, lines, pos } => {
                 let line = *base + *pos;

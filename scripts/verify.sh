@@ -23,6 +23,12 @@ cargo build --offline --release
 echo "== cargo test --release"
 cargo test --offline --release --workspace
 
+echo "== golden-trace regression (flat kernels vs pre-refactor fixtures)"
+cargo test --offline --release -p jumanji --test golden_trace
+
+echo "== cargo bench smoke (one iteration per benchmark, no statistics)"
+JUMANJI_BENCH_SMOKE=1 cargo bench --offline
+
 echo "== quick suite: timings (runs every heavy binary at --mixes 4)"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -33,5 +39,11 @@ echo "== parallel output is byte-identical to serial"
 ./target/release/fig13 --mixes 2 --threads 1 >"$tmp/t1.tsv"
 ./target/release/fig13 --mixes 2 --threads 4 >"$tmp/t4.tsv"
 cmp "$tmp/t1.tsv" "$tmp/t4.tsv"
+./target/release/validate --threads 1 >"$tmp/v1.tsv"
+./target/release/validate --threads 4 >"$tmp/v4.tsv"
+cmp "$tmp/v1.tsv" "$tmp/v4.tsv"
+./target/release/fig02 --threads 1 >"$tmp/f1.tsv"
+./target/release/fig02 --threads 4 >"$tmp/f4.tsv"
+cmp "$tmp/f1.tsv" "$tmp/f4.tsv"
 
 echo "verify: OK"
