@@ -1,10 +1,13 @@
 //! Cost of the allocation-algorithm building blocks: Lookahead (convex and
-//! cliff inputs), VM-curve combining, convex hulls, and placement
-//! descriptor construction.
+//! cliff inputs), bank placement (`place_near`), VM-curve combining,
+//! convex hulls, and placement descriptor construction.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use jumanji::cache::MissCurve;
+use jumanji::core::jigsaw::{place_near, refine_placement, PlaceRequest};
 use jumanji::core::lookahead::{jumanji_lookahead, lookahead};
+use jumanji::core::PlacementInput;
+use jumanji::prelude::SystemConfig;
 use jumanji::types::BankId;
 use jumanji::vc::PlacementDescriptor;
 use std::hint::black_box;
@@ -49,6 +52,49 @@ fn lookahead_benches(c: &mut Criterion) {
     group.finish();
 }
 
+fn place_near_benches(c: &mut Criterion) {
+    // The Jigsaw/Jumanji bank-placement step on the paper-sized problem:
+    // 20 apps on the 4x5 mesh, Lookahead-sized capacity requests.
+    let cfg = SystemConfig::micro2020();
+    let input = PlacementInput::example(&cfg);
+    let curves: Vec<&MissCurve> = input.apps.iter().map(|a| &a.curve).collect();
+    let sizes = lookahead(&curves, cfg.llc.total_ways() as usize);
+    let unit = cfg.llc.way_bytes() as f64;
+    let requests: Vec<PlaceRequest> = input
+        .apps
+        .iter()
+        .zip(&sizes)
+        .map(|(a, &u)| PlaceRequest {
+            app: a.id,
+            core: a.core,
+            bytes: u as f64 * unit,
+            priority: a.access_rate,
+        })
+        .collect();
+    let mut group = c.benchmark_group("place_near");
+    group.bench_function("20apps_20banks", |b| {
+        b.iter(|| {
+            let mut balance = vec![cfg.llc.bank_bytes as f64; cfg.llc.num_banks];
+            black_box(place_near(
+                black_box(&requests),
+                &mut balance,
+                cfg.mesh(),
+                None,
+            ))
+        })
+    });
+    let mut balance = vec![cfg.llc.bank_bytes as f64; cfg.llc.num_banks];
+    let placed = place_near(&requests, &mut balance, cfg.mesh(), None);
+    group.bench_function("refine_4rounds", |b| {
+        b.iter(|| {
+            let mut p = placed.clone();
+            refine_placement(black_box(&requests), &mut p, cfg.mesh(), 4);
+            black_box(p)
+        })
+    });
+    group.finish();
+}
+
 fn curve_benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("miss_curves");
     let raw = MissCurve::new(
@@ -87,6 +133,7 @@ fn descriptor_benches(c: &mut Criterion) {
 criterion_group!(
     benches,
     lookahead_benches,
+    place_near_benches,
     curve_benches,
     descriptor_benches
 );

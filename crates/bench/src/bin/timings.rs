@@ -79,6 +79,28 @@ fn detail_throughput() -> (u64, f64) {
     (total_accesses, total_accesses as f64 / secs)
 }
 
+/// Measures the analytic epoch engine: one `case_study_mix(4)` cell run
+/// through `Experiment::run` for all five designs on one core. Returns the
+/// total interval count and sustained intervals/sec — the number that the
+/// incremental, allocation-free epoch loop is supposed to keep high.
+fn analytic_throughput() -> (u64, f64) {
+    let opts = SimOptions::default();
+    let per_run = (opts.duration.as_f64() / opts.reconfig.as_f64()).round() as u64;
+    let exp = Experiment::new(case_study_mix(4), LcLoad::High, opts);
+    let designs = DesignKind::all();
+    const REPS: u64 = 3;
+    let t = Instant::now();
+    for _ in 0..REPS {
+        for &design in &designs {
+            let result = exp.run(design);
+            assert!(!result.batch_names.is_empty());
+        }
+    }
+    let secs = t.elapsed().as_secs_f64();
+    let intervals = REPS * designs.len() as u64 * per_run;
+    (intervals, intervals as f64 / secs)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let out_dir = flag_value(&args, "--out").map_or_else(|| PathBuf::from("."), PathBuf::from);
@@ -111,6 +133,11 @@ fn main() {
     let (detail_accesses, detail_rate) = detail_throughput();
     eprintln!("detail: {detail_rate:.3e} accesses/sec ({detail_accesses} accesses, 1 core)");
 
+    let (analytic_intervals, analytic_rate) = analytic_throughput();
+    eprintln!(
+        "analytic: {analytic_rate:.0} intervals/sec ({analytic_intervals} intervals, 1 core)"
+    );
+
     let baseline_text = std::fs::read_to_string(out_dir.join("BENCH_baseline.json")).ok();
     let baseline = baseline_text
         .as_deref()
@@ -118,6 +145,9 @@ fn main() {
     let detail_base = baseline_text
         .as_deref()
         .and_then(|t| read_number(t, "\"detail_accesses_per_sec\":"));
+    let analytic_base = baseline_text
+        .as_deref()
+        .and_then(|t| read_number(t, "\"analytic_intervals_per_sec\":"));
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"mixes\": {SUITE_MIXES},\n"));
@@ -140,6 +170,23 @@ fn main() {
             detail_rate / base
         ));
         eprintln!("detail speedup vs baseline: {:.2}x", detail_rate / base);
+    }
+    json.push_str("\n  },\n");
+    json.push_str("  \"analytic\": {\n");
+    json.push_str(&format!(
+        "    \"intervals\": {analytic_intervals},\n    \"intervals_per_sec\": {analytic_rate:.0}"
+    ));
+    for fig in ["fig13", "fig14"] {
+        if let Some((_, secs)) = rows.iter().find(|(name, _)| name == fig) {
+            json.push_str(&format!(",\n    \"{fig}_seconds\": {secs:.3}"));
+        }
+    }
+    if let Some(base) = analytic_base {
+        json.push_str(&format!(
+            ",\n    \"baseline_intervals_per_sec\": {base:.0},\n    \"speedup_vs_baseline\": {:.2}",
+            analytic_rate / base
+        ));
+        eprintln!("analytic speedup vs baseline: {:.2}x", analytic_rate / base);
     }
     json.push_str("\n  },\n");
     json.push_str(&format!("  \"total_seconds\": {total:.3}"));

@@ -69,21 +69,55 @@ pub fn assoc_penalty(ways: f64, full_ways: u32) -> f64 {
 /// assert!(occ[0] > occ[1], "the high-miss-rate app occupies more");
 /// ```
 pub fn shared_occupancy(curves: &[MissCurve], total_units: f64) -> Vec<f64> {
+    let mut occ = Vec::new();
+    let mut scratch = OccupancyScratch::default();
+    shared_occupancy_into(curves, total_units, &mut occ, &mut scratch);
+    occ
+}
+
+/// Reusable iteration buffers for [`shared_occupancy_into`]: the epoch
+/// engine resolves pool equilibria every interval, and the fixed point
+/// would otherwise allocate two vectors per iteration (up to 200 per call).
+#[derive(Debug, Default)]
+pub struct OccupancyScratch {
+    rates: Vec<f64>,
+    next: Vec<f64>,
+}
+
+/// [`shared_occupancy`] writing into a caller-provided vector, with
+/// reusable iteration buffers. Produces bit-identical occupancies.
+///
+/// # Panics
+///
+/// Panics if `curves` is empty.
+pub fn shared_occupancy_into(
+    curves: &[MissCurve],
+    total_units: f64,
+    occ: &mut Vec<f64>,
+    scratch: &mut OccupancyScratch,
+) {
     assert!(!curves.is_empty(), "need at least one sharer");
     let n = curves.len();
+    occ.clear();
     if total_units <= 0.0 {
-        return vec![0.0; n];
+        occ.resize(n, 0.0);
+        return;
     }
     // Start from an even split.
-    let mut occ = vec![total_units / n as f64; n];
+    occ.resize(n, total_units / n as f64);
     for _ in 0..100 {
-        let rates: Vec<f64> = curves
-            .iter()
-            .zip(&occ)
-            .map(|(c, &o)| c.eval_units(o).max(1e-12))
-            .collect();
+        let rates = &mut scratch.rates;
+        rates.clear();
+        rates.extend(
+            curves
+                .iter()
+                .zip(occ.iter())
+                .map(|(c, &o)| c.eval_units(o).max(1e-12)),
+        );
         let sum: f64 = rates.iter().sum();
-        let mut next: Vec<f64> = rates.iter().map(|r| total_units * r / sum).collect();
+        let next = &mut scratch.next;
+        next.clear();
+        next.extend(rates.iter().map(|r| total_units * r / sum));
         // No app can occupy more than its footprint (curve domain).
         let mut overflow = 0.0;
         let mut headroom = 0.0;
@@ -116,7 +150,6 @@ pub fn shared_occupancy(curves: &[MissCurve], total_units: f64) -> Vec<f64> {
             break;
         }
     }
-    occ
 }
 
 /// Total miss rate of a group sharing unpartitioned space, at equilibrium.

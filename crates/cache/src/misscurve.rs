@@ -153,6 +153,22 @@ impl MissCurve {
         }
     }
 
+    /// In-place variant of [`MissCurve::scaled`]: overwrites `self` with
+    /// `src`'s points multiplied by `factor`, reusing `self`'s buffer.
+    ///
+    /// The epoch engine rescales every application's hull on every
+    /// reconfiguration (access rates move each interval); doing it into a
+    /// persistent curve makes the interval loop allocation-free. The
+    /// multiplication is elementwise, exactly as in [`MissCurve::scaled`],
+    /// so the resulting points are bit-identical.
+    pub fn clone_scaled_from(&mut self, src: &MissCurve, factor: f64) {
+        assert!(factor.is_finite() && factor >= 0.0);
+        self.unit_bytes = src.unit_bytes;
+        self.convex = src.convex;
+        self.misses.clear();
+        self.misses.extend(src.misses.iter().map(|m| m * factor));
+    }
+
     /// The lower convex hull of the curve.
     ///
     /// The paper approximates DRRIP's miss curve by the convex hull of the
@@ -327,11 +343,16 @@ impl MissCurve {
         let mut current: f64 = hulls.iter().map(|h| h[0]).sum();
         combined.push(current);
         for _ in 0..total_units {
-            let (k, &g) = gains
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("gains are comparable"))
-                .expect("at least one member");
+            // Last-wins max scan: `>=` keeps the later of equal gains,
+            // matching `max_by`'s tie behaviour exactly.
+            let mut k = 0;
+            let mut g = gains[0];
+            for (j, &gj) in gains.iter().enumerate().skip(1) {
+                if gj >= g {
+                    k = j;
+                    g = gj;
+                }
+            }
             alloc[k] += 1;
             current -= g;
             gains[k] = gain_at(hulls[k], alloc[k]);

@@ -73,6 +73,12 @@ pub fn place_near(
     });
     let mut remaining: Vec<f64> = requests.iter().map(|r| r.bytes).collect();
     let mut placements: Vec<Vec<(BankId, f64)>> = vec![Vec::new(); requests.len()];
+    // Distance orderings are per-core constants; computing them per round
+    // was the dominant cost of placement on larger meshes.
+    let by_distance: Vec<Vec<BankId>> = requests
+        .iter()
+        .map(|r| mesh.banks_by_distance(r.core).collect())
+        .collect();
     loop {
         let mut progress = false;
         for &i in &order {
@@ -80,7 +86,7 @@ pub fn place_near(
                 continue;
             }
             let mut round_budget = bank_cap.min(remaining[i]);
-            for bank in mesh.banks_by_distance(requests[i].core) {
+            for &bank in &by_distance[i] {
                 if round_budget <= 0.0 {
                     break;
                 }
@@ -145,11 +151,23 @@ pub fn refine_placement(
     max_rounds: usize,
 ) -> f64 {
     let by_app: HashMap<AppId, &PlaceRequest> = requests.iter().map(|r| (r.app, r)).collect();
-    let weight = |app: AppId, total: f64| -> f64 {
+    // Each placement's app identity never changes during refinement, so
+    // its priority and core are resolved once instead of once per pair
+    // per sweep. A missing request contributes zero priority, matching
+    // the old per-pair `unwrap_or(0.0)` weight (core is then unused: all
+    // its weighted deltas vanish).
+    let pinfo: Vec<(f64, CoreId)> = placements
+        .iter()
+        .map(|(app, _)| match by_app.get(app) {
+            Some(r) => (r.priority, r.core),
+            None => (0.0, CoreId(0)),
+        })
+        .collect();
+    let weight = |prio: f64, total: f64| -> f64 {
         if total <= 0.0 {
             0.0
         } else {
-            by_app.get(&app).map(|r| r.priority / total).unwrap_or(0.0)
+            prio / total
         }
     };
     let mut saved = 0.0;
@@ -158,13 +176,13 @@ pub fn refine_placement(
         for i in 0..placements.len() {
             for j in (i + 1)..placements.len() {
                 let (head, tail) = placements.split_at_mut(j);
-                let (app_a, pa) = &mut head[i];
-                let (app_b, pb) = &mut tail[0];
+                let (_, pa) = &mut head[i];
+                let (_, pb) = &mut tail[0];
                 let total_a: f64 = pa.iter().map(|(_, b)| b).sum();
                 let total_b: f64 = pb.iter().map(|(_, b)| b).sum();
-                let (wa, wb) = (weight(*app_a, total_a), weight(*app_b, total_b));
-                let core_a = by_app.get(app_a).expect("request exists").core;
-                let core_b = by_app.get(app_b).expect("request exists").core;
+                let (wa, wb) = (weight(pinfo[i].0, total_a), weight(pinfo[j].0, total_b));
+                let core_a = pinfo[i].1;
+                let core_b = pinfo[j].1;
                 // Best single swap between a's bank x and b's bank y.
                 let mut best: Option<(usize, usize, f64, f64)> = None;
                 for (xi, &(x, bytes_x)) in pa.iter().enumerate() {

@@ -48,6 +48,8 @@ pub fn lookahead<C: std::borrow::Borrow<MissCurve>>(
     // change between steps.
     let all_convex = curves.iter().all(|c| c.is_convex());
     if all_convex {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
         let gain = |i: usize, have: usize| {
             if have < curves[i].max_units() {
                 curves[i].at(have) - curves[i].at(have + 1)
@@ -55,23 +57,40 @@ pub fn lookahead<C: std::borrow::Borrow<MissCurve>>(
                 0.0 // exhausted: never beats the > 0 acceptance test
             }
         };
+        // Heap selection instead of an O(n) winner scan per granted unit:
+        // entries are (order-preserving gain key, Reverse(index)), so the
+        // heap max is the highest gain with ties to the lowest index —
+        // exactly what a first-wins linear scan with a strict `>` picks
+        // (numeric ties above zero are bit-identical gains, and ±0.0
+        // disagreements only arise when the loop terminates anyway).
+        // Granting a unit re-pushes the winner's new gain; entries whose
+        // key no longer matches `gains[i]` are stale and skipped. (On a
+        // flat segment the new gain can equal the old one bit-for-bit; the
+        // leftover twin entry is then *valid*, and popping it later makes
+        // the same decision a fresh push would.)
         let mut gains: Vec<f64> = (0..n).map(|i| gain(i, 0)).collect();
+        let mut heap: BinaryHeap<(u64, Reverse<usize>)> = gains
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (gain_key(g), Reverse(i)))
+            .collect();
         while remaining > 0 {
-            // First-wins on ties, matching the chunk scan below.
-            let mut i = 0;
-            let mut mu = gains[0];
-            for (j, &g) in gains.iter().enumerate().skip(1) {
-                if g > mu {
-                    mu = g;
-                    i = j;
-                }
+            let Some(&(key, Reverse(i))) = heap.peek() else {
+                break;
+            };
+            if key != gain_key(gains[i]) {
+                heap.pop(); // stale: i's gain changed since this was pushed
+                continue;
             }
+            let mu = gains[i];
             if mu <= 0.0 {
                 break; // no one benefits from more space
             }
+            heap.pop();
             alloc[i] += 1;
             remaining -= 1;
             gains[i] = gain(i, alloc[i]);
+            heap.push((gain_key(gains[i]), Reverse(i)));
         }
     }
     while remaining > 0 && !all_convex {
@@ -116,6 +135,18 @@ pub fn lookahead<C: std::borrow::Borrow<MissCurve>>(
         i = (i + 1) % n;
     }
     alloc
+}
+
+/// Order-preserving `f64` → `u64` key (the IEEE total order): comparing
+/// keys matches `f64::total_cmp`, and equal keys mean bit-equal values.
+/// Lets marginal-utility gains live in a `BinaryHeap` without wrappers.
+fn gain_key(g: f64) -> u64 {
+    let b = g.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
 }
 
 /// `JumanjiLookahead`: chooses whole-bank counts per VM.

@@ -3,6 +3,7 @@
 
 use nuca_cache::MissCurve;
 use nuca_types::{AppId, BankId, CoreId, SystemConfig, VmId};
+use std::sync::Arc;
 
 /// Whether an application is latency-critical or batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -36,8 +37,10 @@ pub struct AppModel {
 /// sizes, and the machine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlacementInput {
-    /// System configuration (bank sizes, mesh, ways).
-    pub cfg: SystemConfig,
+    /// System configuration (bank sizes, mesh, ways). Shared by reference
+    /// so the interval loop can rebuild inputs without copying the config
+    /// (and so clones of the input are cheap).
+    pub cfg: Arc<SystemConfig>,
     /// Applications indexed by `AppId`.
     pub apps: Vec<AppModel>,
     /// Feedback-controller target size in bytes for each LC app
@@ -132,7 +135,7 @@ impl PlacementInput {
             }
         }
         PlacementInput {
-            cfg: cfg.clone(),
+            cfg: Arc::new(cfg.clone()),
             apps,
             lc_sizes,
         }

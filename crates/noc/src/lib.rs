@@ -36,5 +36,5 @@ mod port;
 pub mod queueing;
 
 pub use latency::MeshNoc;
-pub use links::LinkLoads;
+pub use links::{LinkLoads, RouteTable};
 pub use port::{BankPorts, PortStats};

@@ -151,6 +151,120 @@ impl LinkLoads {
     pub fn mesh_tiles(&self) -> usize {
         self.mesh_tiles
     }
+
+    /// The raw per-link flow slab (indexed `from_tile * num_tiles +
+    /// to_tile`), for callers that precompute per-link waits once and
+    /// share them across many paths.
+    pub fn flows(&self) -> &[f64] {
+        &self.flows
+    }
+
+    /// [`add_flow`](LinkLoads::add_flow) using precomputed routes: adds
+    /// `rate` to the same links in the same order, without re-walking the
+    /// mesh. The table must have been built for the same mesh as
+    /// [`reset`](LinkLoads::reset).
+    pub fn add_flow_routed(&mut self, routes: &RouteTable, core: CoreId, bank: BankId, rate: f64) {
+        if rate <= 0.0 {
+            return;
+        }
+        for &l in routes.round_trip(core, bank) {
+            self.flows[l as usize] += rate;
+        }
+    }
+
+    /// [`path_delay`](LinkLoads::path_delay) using precomputed routes:
+    /// sums the per-link M/D/1 waits over the same links in the same
+    /// order.
+    pub fn path_delay_routed(&self, routes: &RouteTable, core: CoreId, bank: BankId) -> f64 {
+        let mut total = 0.0;
+        for &l in routes.round_trip(core, bank) {
+            total += md1_wait(self.flows[l as usize], 1.0);
+        }
+        total
+    }
+}
+
+/// Precomputed X-Y round-trip routes for every `(core, bank)` pair.
+///
+/// The mesh geometry is fixed for a run, but the analytic model walks the
+/// core↔bank path of every placement pair several times per fixed-point
+/// iteration (once to accumulate flows, once to sum congestion). This
+/// table stores each pair's flat link indices — request then response, in
+/// walk order, so replaying it touches the same `f64`s in the same order
+/// as the on-the-fly walk and is therefore bit-identical.
+#[derive(Debug, Clone, Default)]
+pub struct RouteTable {
+    /// `offsets[core * num_banks + bank] .. offsets[.. + 1]` indexes
+    /// `links` for that pair's round trip.
+    offsets: Vec<u32>,
+    /// Flat link indices (`from_tile * num_tiles + to_tile`).
+    links: Vec<u32>,
+    num_banks: usize,
+}
+
+impl RouteTable {
+    /// Builds the table for `mesh` with `num_cores` cores and `num_banks`
+    /// banks.
+    pub fn new(mesh: Mesh, num_cores: usize, num_banks: usize) -> RouteTable {
+        let t = mesh.num_tiles();
+        let mut offsets = Vec::with_capacity(num_cores * num_banks + 1);
+        let mut links: Vec<u32> = Vec::new();
+        offsets.push(0);
+        let push_path = |links: &mut Vec<u32>, from: TileCoord, to: TileCoord| {
+            let mut cur = from;
+            while cur.x != to.x {
+                let next = TileCoord {
+                    x: if to.x > cur.x { cur.x + 1 } else { cur.x - 1 },
+                    y: cur.y,
+                };
+                links.push((mesh.tile_index(cur) * t + mesh.tile_index(next)) as u32);
+                cur = next;
+            }
+            while cur.y != to.y {
+                let next = TileCoord {
+                    x: cur.x,
+                    y: if to.y > cur.y { cur.y + 1 } else { cur.y - 1 },
+                };
+                links.push((mesh.tile_index(cur) * t + mesh.tile_index(next)) as u32);
+                cur = next;
+            }
+        };
+        for core in 0..num_cores {
+            for bank in 0..num_banks {
+                let ct = mesh.core_tile(CoreId(core));
+                let bt = mesh.bank_tile(BankId(bank));
+                push_path(&mut links, ct, bt);
+                push_path(&mut links, bt, ct);
+                offsets.push(links.len() as u32);
+            }
+        }
+        RouteTable {
+            offsets,
+            links,
+            num_banks,
+        }
+    }
+
+    /// The round-trip link indices for `(core, bank)`: request path then
+    /// response path, in walk order.
+    pub fn round_trip(&self, core: CoreId, bank: BankId) -> &[u32] {
+        let k = core.index() * self.num_banks + bank.index();
+        &self.links[self.offsets[k] as usize..self.offsets[k + 1] as usize]
+    }
+
+    /// Sums `per_link[l]` over the `(core, bank)` round trip, in walk
+    /// order. With `per_link[l] = md1_wait(flows[l], 1.0)` this adds the
+    /// same values in the same order as
+    /// [`LinkLoads::path_delay_routed`] — bit-identical — while letting
+    /// the caller compute each link's wait once instead of once per path
+    /// that crosses it.
+    pub fn round_trip_sum(&self, per_link: &[f64], core: CoreId, bank: BankId) -> f64 {
+        let mut total = 0.0;
+        for &l in self.round_trip(core, bank) {
+            total += per_link[l as usize];
+        }
+        total
+    }
 }
 
 #[cfg(test)]

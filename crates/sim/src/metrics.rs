@@ -27,12 +27,25 @@ use nuca_types::AppId;
 /// assert_eq!(percentile(&lat, 0.95), 95.0);
 /// ```
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    let mut v = samples.to_vec();
+    percentile_mut(&mut v, p)
+}
+
+/// Nearest-rank percentile computed in place via quickselect: O(n) and
+/// allocation-free, reordering `samples` arbitrarily. Returns exactly the
+/// value a sort-then-index would (same multiset, same rank).
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or `p` outside `(0, 1]`.
+pub fn percentile_mut(samples: &mut [f64], p: f64) -> f64 {
     assert!(!samples.is_empty(), "need at least one sample");
     assert!(p > 0.0 && p <= 1.0, "percentile must be in (0,1]");
-    let mut v = samples.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
-    let rank = (p * v.len() as f64).ceil() as usize;
-    v[rank.saturating_sub(1)]
+    let rank = (p * samples.len() as f64).ceil() as usize;
+    let (_, v, _) = samples.select_nth_unstable_by(rank.saturating_sub(1), |a, b| {
+        a.partial_cmp(b).expect("samples are finite")
+    });
+    *v
 }
 
 /// Geometric mean of positive values.
@@ -87,21 +100,45 @@ pub fn vulnerability(input: &PlacementInput, alloc: &Allocation, rates: &[f64]) 
     }
     // Shared allocations put every pool member on every pool bank, so the
     // (app, bank) visit count is quadratic; resolve occupancy for all
-    // banks once instead of once per visit. Counting occupants per (bank,
-    // VM) reproduces Allocation::attackers exactly: an app's attacker
-    // count at a bank is the occupants there minus its own VM's.
+    // banks once instead of once per visit. Only the *counts* matter —
+    // occupants per bank and occupants per (bank, VM) — so a flat
+    // membership bitmap replaces the per-bank occupant sets: the integer
+    // counts are the same, hence so is every attacker term. An app's
+    // attacker count at a bank is the occupants there minus its own VM's,
+    // exactly as Allocation::attackers defines it.
     let num_banks = input.cfg.llc.num_banks;
+    let n_apps = input.apps.len();
     let num_vms = input
         .apps
         .iter()
         .map(|a| a.vm.index() + 1)
         .max()
         .unwrap_or(0);
-    let occupants = alloc.occupants_by_bank(num_banks);
-    let mut vm_counts = vec![vec![0usize; num_vms]; num_banks];
-    for (bank, occ) in occupants.iter().enumerate() {
-        for a in occ {
-            vm_counts[bank][input.apps[a.index()].vm.index()] += 1;
+    let mut member = vec![false; num_banks * n_apps];
+    for a in &alloc.apps {
+        for &(b, bytes) in &a.placement {
+            if bytes > 0.0 && b.index() < num_banks {
+                member[b.index() * n_apps + a.app.index()] = true;
+            }
+        }
+    }
+    for p in &alloc.pools {
+        for &(b, bytes) in &p.placement {
+            if bytes > 0.0 && b.index() < num_banks {
+                for m in &p.members {
+                    member[b.index() * n_apps + m.index()] = true;
+                }
+            }
+        }
+    }
+    let mut occ_count = vec![0usize; num_banks];
+    let mut vm_counts = vec![0usize; num_banks * num_vms];
+    for b in 0..num_banks {
+        for (i, a) in input.apps.iter().enumerate() {
+            if member[b * n_apps + i] {
+                occ_count[b] += 1;
+                vm_counts[b * num_vms + a.vm.index()] += 1;
+            }
         }
     }
     rates
@@ -118,7 +155,7 @@ pub fn vulnerability(input: &PlacementInput, alloc: &Allocation, rates: &[f64]) 
                 .iter()
                 .map(|&(bank, bytes)| {
                     let b = bank.index();
-                    let n = (occupants[b].len() - vm_counts[b][my_vm]) as f64;
+                    let n = (occ_count[b] - vm_counts[b * num_vms + my_vm]) as f64;
                     n * bytes / bytes_total
                 })
                 .sum();

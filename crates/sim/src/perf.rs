@@ -18,13 +18,14 @@
 //!   queueing at the per-controller demand.
 
 use jumanji_core::{Allocation, AppKind};
-use nuca_cache::analytic::{assoc_penalty, shared_occupancy};
+use nuca_cache::analytic::{assoc_penalty, shared_occupancy_into, OccupancyScratch};
 use nuca_cache::MissCurve;
 use nuca_mem::MemSystem;
 use nuca_noc::queueing::md1_wait;
-use nuca_noc::{LinkLoads, MeshNoc};
+use nuca_noc::{LinkLoads, MeshNoc, RouteTable};
 use nuca_types::{AppId, BankId, CoreId, SystemConfig};
 use nuca_workloads::{BatchProfile, LcLoad, LcProfile};
+use std::sync::Arc;
 
 /// Cycles one access occupies a bank port (data transfer of a 64 B line
 /// over a 128-bit port).
@@ -101,21 +102,67 @@ pub struct AppPerf {
 }
 
 /// Reusable buffers for [`evaluate_with`]: per-bank port loads, per-
-/// controller bandwidth demand, and the per-link flow map. The interval
-/// loop in the runner evaluates the model hundreds of times on the same
-/// geometry; keeping one scratch per experiment avoids reallocating (and
-/// rehashing) these on every fixed-point iteration of every interval.
+/// controller bandwidth demand, the per-link flow map, and the pooled-
+/// capacity machinery (per-app sampled ratio curves, scaled absolute
+/// curves, and occupancy fixed-point buffers). The interval loop in the
+/// runner evaluates the model hundreds of times on the same geometry;
+/// keeping one scratch per experiment makes each evaluation allocation-
+/// free instead of re-sampling, re-scaling, and reallocating per call.
 #[derive(Debug, Default)]
 pub struct EvalScratch {
     bank_load: Vec<f64>,
     ctrl_load: Vec<f64>,
     link_loads: LinkLoads,
+    /// Precomputed core↔bank routes (geometry is fixed per experiment).
+    routes: Option<RouteTable>,
+    /// Per bank: nearest controller index and unloaded miss penalty —
+    /// pure geometry, computed once instead of per (app, bank) pair.
+    bank_ctrl_pen: Vec<(usize, f64)>,
+    /// Memoized unit-granularity ratio curve per app index; filled lazily
+    /// (profiles are fixed for the lifetime of a scratch).
+    sampled: Vec<Option<Arc<MissCurve>>>,
+    /// Reusable scaled absolute-miss-rate curves for pool members.
+    pool_scaled: Vec<MissCurve>,
+    /// Occupancy equilibrium output and iteration buffers.
+    occ: Vec<f64>,
+    occ_scratch: OccupancyScratch,
+    /// Per-app effective capacities.
+    caps: Vec<f64>,
+    /// Fixed-point access-rate iterate.
+    rates: Vec<f64>,
+    /// Per-bank port wait, per-link M/D/1 wait, and per-controller queue
+    /// delay for the current iterate. Each is a pure function of the load
+    /// on that one resource, so computing it once per iteration and
+    /// sharing it across every application that touches the resource adds
+    /// the exact same values in the exact same order as recomputing it
+    /// per (app, bank) pair did.
+    port_delay: Vec<f64>,
+    link_delay: Vec<f64>,
+    ctrl_delay: Vec<f64>,
 }
 
 impl EvalScratch {
     /// A fresh scratch; buffers are sized on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The memoized unit-granularity ratio curve of app `i`, sampling it on
+    /// first use. Valid only while the scratch is used with one fixed
+    /// profile set — which is the contract of the scratch (one experiment).
+    fn sampled_curve(
+        &mut self,
+        profiles: &[Profile],
+        i: usize,
+        unit: u64,
+        units: usize,
+    ) -> Arc<MissCurve> {
+        if self.sampled.len() < profiles.len() {
+            self.sampled.resize(profiles.len(), None);
+        }
+        Arc::clone(
+            self.sampled[i].get_or_insert_with(|| sampled_ratio_curve(&profiles[i], unit, units)),
+        )
     }
 }
 
@@ -136,8 +183,6 @@ struct AppStatics<'a> {
     placement: &'a [(BankId, f64)],
     /// Total placed bytes (0 when the placement is unknown).
     total_bytes: f64,
-    /// Per placed bank: its controller index and unloaded miss penalty.
-    bank_mem: Vec<(usize, f64)>,
 }
 
 /// Evaluates the performance model for every application.
@@ -165,17 +210,57 @@ pub fn evaluate_with(
     prev_rates: &[f64],
     scratch: &mut EvalScratch,
 ) -> Vec<AppPerf> {
+    let mut out = Vec::new();
+    evaluate_into(cfg, profiles, cores, alloc, prev_rates, scratch, &mut out);
+    out
+}
+
+/// [`evaluate_with`] writing into a caller-provided vector, so the epoch
+/// loop can reuse one perf buffer across intervals.
+pub fn evaluate_into(
+    cfg: &SystemConfig,
+    profiles: &[Profile],
+    cores: &[CoreId],
+    alloc: &Allocation,
+    prev_rates: &[f64],
+    scratch: &mut EvalScratch,
+    out: &mut Vec<AppPerf>,
+) {
     assert_eq!(profiles.len(), cores.len(), "one core per application");
     let noc = MeshNoc::new(cfg);
     let mem = MemSystem::new(cfg);
     let n = profiles.len();
-    let mut rates: Vec<f64> = prev_rates.to_vec();
-    let mut out = vec![AppPerf::default(); n];
+    out.clear();
+    out.resize(n, AppPerf::default());
+    if scratch.routes.is_none() {
+        scratch.routes = Some(RouteTable::new(
+            cfg.mesh(),
+            cfg.num_cores,
+            cfg.llc.num_banks,
+        ));
+    }
+    if scratch.bank_ctrl_pen.is_empty() {
+        scratch.bank_ctrl_pen = (0..cfg.llc.num_banks)
+            .map(|b| {
+                let b = BankId(b);
+                (
+                    mem.controller_for_bank(b),
+                    noc.miss_penalty(b).as_u64() as f64,
+                )
+            })
+            .collect();
+    }
 
     // Geometry and capacity are fixed by the allocation; latency and rates
     // need a few fixed-point iterations. Everything that depends only on
     // the allocation is computed once, outside the fixed point.
-    let capacities = effective_capacities(cfg, profiles, alloc, &rates);
+    effective_capacities_into(cfg, profiles, alloc, prev_rates, scratch);
+    // The capacity and rate buffers are lifted out of the scratch for the
+    // duration of the call so the per-iteration borrows stay disjoint.
+    let capacities = std::mem::take(&mut scratch.caps);
+    let mut rates = std::mem::take(&mut scratch.rates);
+    rates.clear();
+    rates.extend_from_slice(prev_rates);
     let statics: Vec<AppStatics> = profiles
         .iter()
         .enumerate()
@@ -195,22 +280,12 @@ pub fn evaluate_with(
             };
             let raw_mr = prof.miss_ratio(cap);
             let placement = alloc.placement_of(app);
-            let bank_mem = placement
-                .iter()
-                .map(|&(b, _)| {
-                    (
-                        mem.controller_for_bank(b),
-                        noc.miss_penalty(b).as_u64() as f64,
-                    )
-                })
-                .collect();
             AppStatics {
                 miss_ratio: (raw_mr * assoc_penalty(ways, cfg.llc.ways) * churn).min(1.0),
                 traffic_miss_ratio: raw_mr.min(1.0),
                 hops: alloc_distance(cfg, alloc, app, cores[i]),
                 placement,
                 total_bytes: placement.iter().map(|(_, b)| b).sum(),
-                bank_mem,
             }
         })
         .collect();
@@ -220,7 +295,24 @@ pub fn evaluate_with(
             bank_load,
             ctrl_load,
             link_loads,
+            routes,
+            bank_ctrl_pen,
+            port_delay,
+            link_delay,
+            ctrl_delay,
+            ..
         } = scratch;
+        let routes = routes.as_ref().expect("routes built above");
+        // Hoist the per-resource waits out of the per-application loop:
+        // every app crossing a link (or hitting a bank port / memory
+        // controller) sees the same wait at the same load, so one
+        // evaluation per resource replaces one per (app, bank) pair.
+        port_delay.clear();
+        port_delay.extend(bank_load.iter().map(|&u| md1_wait(u, PORT_OCCUPANCY)));
+        link_delay.clear();
+        link_delay.extend(link_loads.flows().iter().map(|&f| md1_wait(f, 1.0)));
+        ctrl_delay.clear();
+        ctrl_delay.extend(ctrl_load.iter().map(|&u| mem.queue_delay(u)));
         for (i, prof) in profiles.iter().enumerate() {
             let st = &statics[i];
             let total_bytes = st.total_bytes;
@@ -233,8 +325,8 @@ pub fn evaluate_with(
                     .map(|&(b, bytes)| {
                         let w = bytes / total_bytes;
                         (
-                            md1_wait(bank_load[b.index()], PORT_OCCUPANCY) * w,
-                            link_loads.path_delay(cfg.mesh(), cores[i], b) * w,
+                            port_delay[b.index()] * w,
+                            routes.round_trip_sum(link_delay, cores[i], b) * w,
                         )
                     })
                     .fold((0.0, 0.0), |(p, l), (dp, dl)| (p + dp, l + dl))
@@ -250,9 +342,9 @@ pub fn evaluate_with(
             let miss_pen = if total_bytes > 0.0 {
                 st.placement
                     .iter()
-                    .zip(&st.bank_mem)
-                    .map(|(&(_, bytes), &(ctrl, base))| {
-                        (base + mem.queue_delay(ctrl_load[ctrl])) * bytes / total_bytes
+                    .map(|&(b, bytes)| {
+                        let (ctrl, base) = bank_ctrl_pen[b.index()];
+                        (base + ctrl_delay[ctrl]) * bytes / total_bytes
                     })
                     .sum()
             } else {
@@ -285,7 +377,8 @@ pub fn evaluate_with(
             rates[i] = out[i].access_rate;
         }
     }
-    out
+    scratch.caps = capacities;
+    scratch.rates = rates;
 }
 
 /// Resolves each application's effective capacity: partition bytes, or the
@@ -296,29 +389,56 @@ pub fn effective_capacities(
     alloc: &Allocation,
     rates: &[f64],
 ) -> Vec<f64> {
+    let mut scratch = EvalScratch::new();
+    effective_capacities_into(cfg, profiles, alloc, rates, &mut scratch);
+    std::mem::take(&mut scratch.caps)
+}
+
+/// [`effective_capacities`] writing into `scratch.caps`, reusing the
+/// scratch's sampled curves, scaled-curve slots, and occupancy buffers so
+/// the per-interval pool equilibrium allocates nothing.
+fn effective_capacities_into(
+    cfg: &SystemConfig,
+    profiles: &[Profile],
+    alloc: &Allocation,
+    rates: &[f64],
+    scratch: &mut EvalScratch,
+) {
     let unit = cfg.llc.way_bytes();
-    let mut caps: Vec<f64> = alloc.apps.iter().map(|a| a.total_bytes()).collect();
+    let units = cfg.llc.total_ways() as usize;
+    scratch.caps.clear();
+    scratch
+        .caps
+        .extend(alloc.apps.iter().map(|a| a.total_bytes()));
     for pool in &alloc.pools {
         let pool_units = pool.total_bytes() / unit as f64;
         // Members' absolute miss-rate curves at unit granularity. The
         // sampled ratio curve depends only on (profile, unit, ways) — the
         // per-interval access rate just scales it — so the expensive
-        // sampling is memoized and only the cheap scaling runs per call.
-        let curves: Vec<MissCurve> = pool
-            .members
-            .iter()
-            .map(|m| {
-                let prof = &profiles[m.index()];
-                let rate = rates[m.index()].max(1.0);
-                sampled_ratio_curve(prof, unit, cfg.llc.total_ways() as usize).scaled(rate)
-            })
-            .collect();
-        let occ = shared_occupancy(&curves, pool_units);
-        for (m, o) in pool.members.iter().zip(occ) {
-            caps[m.index()] = o * unit as f64;
+        // sampling is memoized in the scratch and only the cheap in-place
+        // scaling runs per call.
+        let k = pool.members.len();
+        while scratch.pool_scaled.len() < k {
+            scratch.pool_scaled.push(MissCurve::new(1, vec![0.0]));
+        }
+        for (j, m) in pool.members.iter().enumerate() {
+            let rate = rates[m.index()].max(1.0);
+            let base = scratch.sampled_curve(profiles, m.index(), unit, units);
+            scratch.pool_scaled[j].clone_scaled_from(&base, rate);
+        }
+        {
+            let EvalScratch {
+                pool_scaled,
+                occ,
+                occ_scratch,
+                ..
+            } = scratch;
+            shared_occupancy_into(&pool_scaled[..k], pool_units, occ, occ_scratch);
+        }
+        for (j, m) in pool.members.iter().enumerate() {
+            scratch.caps[m.index()] = scratch.occ[j] * unit as f64;
         }
     }
-    caps
 }
 
 /// Memoized unit-granularity sampling of a profile's miss-ratio curve.
@@ -326,12 +446,14 @@ pub fn effective_capacities(
 /// Sampling evaluates `units + 1` parametric curve points (each a `powf`
 /// per smooth component), and pooled designs resample every member on
 /// every interval; the cache turns that into one sampling per profile per
-/// thread. Thread-local so the parallel experiment engine needs no locks.
-fn sampled_ratio_curve(prof: &Profile, unit: u64, units: usize) -> MissCurve {
+/// thread. Thread-local so the parallel experiment engine needs no locks;
+/// returns an `Arc` so per-scratch memoization shares the curve without
+/// copying the point vector.
+fn sampled_ratio_curve(prof: &Profile, unit: u64, units: usize) -> Arc<MissCurve> {
     use std::cell::RefCell;
     use std::collections::HashMap;
     thread_local! {
-        static CACHE: RefCell<HashMap<String, MissCurve>> = RefCell::new(HashMap::new());
+        static CACHE: RefCell<HashMap<String, Arc<MissCurve>>> = RefCell::new(HashMap::new());
     }
     let key = format!("{prof:?}|{unit}|{units}");
     if let Some(c) = CACHE.with(|c| c.borrow().get(&key).cloned()) {
@@ -340,8 +462,8 @@ fn sampled_ratio_curve(prof: &Profile, unit: u64, units: usize) -> MissCurve {
     let pts: Vec<f64> = (0..=units)
         .map(|u| prof.miss_ratio((u as u64 * unit) as f64))
         .collect();
-    let curve = MissCurve::new(unit, pts);
-    CACHE.with(|c| c.borrow_mut().insert(key, curve.clone()));
+    let curve = Arc::new(MissCurve::new(unit, pts));
+    CACHE.with(|c| c.borrow_mut().insert(key, Arc::clone(&curve)));
     curve
 }
 
@@ -383,6 +505,8 @@ fn traffic(
     scratch.ctrl_load.clear();
     scratch.ctrl_load.resize(mem.num_controllers(), 0.0); // lines/cycle
     scratch.link_loads.reset(mesh);
+    let routes = scratch.routes.as_ref().expect("routes built by caller");
+    let bank_ctrl_pen = &scratch.bank_ctrl_pen;
     for (i, st) in statics.iter().enumerate() {
         let rate_cyc = rates[i] / cfg.freq_hz; // accesses per cycle
         let mr = st.traffic_miss_ratio;
@@ -390,10 +514,10 @@ fn traffic(
             // Uniform striping assumption when no placement is known.
             for (b, load) in scratch.bank_load.iter_mut().enumerate() {
                 *load += rate_cyc / nbanks as f64 * PORT_OCCUPANCY;
-                let c = mem.controller_for_bank(BankId(b));
+                let c = bank_ctrl_pen[b].0;
                 scratch.ctrl_load[c] += rate_cyc * mr / nbanks as f64;
-                scratch.link_loads.add_flow(
-                    mesh,
+                scratch.link_loads.add_flow_routed(
+                    routes,
                     cores[i],
                     BankId(b),
                     rate_cyc / nbanks as f64 * FLITS_PER_ACCESS,
@@ -401,13 +525,16 @@ fn traffic(
             }
             continue;
         }
-        for (&(b, bytes), &(c, _)) in st.placement.iter().zip(&st.bank_mem) {
+        for &(b, bytes) in st.placement {
             let share = bytes / st.total_bytes;
             scratch.bank_load[b.index()] += rate_cyc * share * PORT_OCCUPANCY;
-            scratch.ctrl_load[c] += rate_cyc * mr * share;
-            scratch
-                .link_loads
-                .add_flow(mesh, cores[i], b, rate_cyc * share * FLITS_PER_ACCESS);
+            scratch.ctrl_load[bank_ctrl_pen[b.index()].0] += rate_cyc * mr * share;
+            scratch.link_loads.add_flow_routed(
+                routes,
+                cores[i],
+                b,
+                rate_cyc * share * FLITS_PER_ACCESS,
+            );
         }
     }
 }

@@ -44,8 +44,16 @@ impl LcQueue {
     /// `service_cycles`. Returns the completions (their completion times
     /// may exceed `until`; the server carries over).
     pub fn advance(&mut self, until: u64, service_cycles: f64) -> Vec<Completion> {
-        let service = service_cycles.max(1.0) as u64;
         let mut out = Vec::new();
+        self.advance_into(until, service_cycles, &mut out);
+        out
+    }
+
+    /// [`advance`](LcQueue::advance) writing into a caller-provided buffer
+    /// (cleared first), so the interval loop reuses one completion vector.
+    pub fn advance_into(&mut self, until: u64, service_cycles: f64, out: &mut Vec<Completion>) {
+        let service = service_cycles.max(1.0) as u64;
+        out.clear();
         while self.next_arrival < until {
             let arrival = self.next_arrival;
             self.next_arrival = self.gen.next_arrival();
@@ -57,7 +65,6 @@ impl LcQueue {
                 latency: done - arrival,
             });
         }
-        out
     }
 
     /// Current backlog delay: how far the server lags behind `now`.

@@ -26,6 +26,9 @@ cargo test --offline --release --workspace
 echo "== golden-trace regression (flat kernels vs pre-refactor fixtures)"
 cargo test --offline --release -p jumanji --test golden_trace
 
+echo "== golden-analytic regression (epoch engine vs pre-refactor fixtures)"
+cargo test --offline --release -p jumanji --test golden_analytic
+
 echo "== cargo bench smoke (one iteration per benchmark, no statistics)"
 JUMANJI_BENCH_SMOKE=1 cargo bench --offline
 

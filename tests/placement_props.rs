@@ -62,11 +62,57 @@ fn arb_input() -> impl Strategy<Value = PlacementInput> {
                 }
             }
             PlacementInput {
-                cfg,
+                cfg: std::sync::Arc::new(cfg),
                 apps,
                 lc_sizes,
             }
         })
+}
+
+/// Brute-force UCP Lookahead: the plain chunk-scan greedy from the paper,
+/// with no convexity fast path — repeatedly grant the (curve, chunk) with
+/// the highest average marginal utility (strict `>`, so ties go to the
+/// first candidate scanned), then spread useless leftovers round-robin.
+fn lookahead_reference(curves: &[&MissCurve], total_units: usize) -> Vec<usize> {
+    let n = curves.len();
+    let mut alloc = vec![0usize; n];
+    let mut remaining = total_units;
+    while remaining > 0 {
+        let mut best: Option<(usize, usize)> = None;
+        let mut best_mu = 0.0f64;
+        for (i, c) in curves.iter().enumerate() {
+            let have = alloc[i];
+            let max_k = c.max_units().saturating_sub(have).min(remaining);
+            let base = c.at(have);
+            for k in 1..=max_k {
+                let mu = (base - c.at(have + k)) / k as f64;
+                if mu > best_mu {
+                    best_mu = mu;
+                    best = Some((i, k));
+                }
+            }
+        }
+        match best {
+            Some((i, k)) if best_mu > 0.0 => {
+                alloc[i] += k;
+                remaining -= k;
+            }
+            _ => break,
+        }
+    }
+    let mut i = 0;
+    let mut stuck = 0;
+    while remaining > 0 && stuck < n {
+        if alloc[i] < curves[i].max_units() {
+            alloc[i] += 1;
+            remaining -= 1;
+            stuck = 0;
+        } else {
+            stuck += 1;
+        }
+        i = (i + 1) % n;
+    }
+    alloc
 }
 
 proptest! {
@@ -133,6 +179,68 @@ proptest! {
         let llc = input.cfg.llc.total_bytes() as f64;
         // Sub-unit rounding slack only.
         prop_assert!(total > 0.97 * llc, "allocated {total} of {llc}");
+    }
+
+    #[test]
+    fn lookahead_matches_chunk_scan_reference(
+        raw in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1000.0, 2..10),
+            2..6,
+        ),
+        total in 0usize..16,
+    ) {
+        // A guaranteed-non-convex cliff curve pins the production code to
+        // its chunk-scan path (the convex fast path requires *all* curves
+        // convex); the reference below is the textbook UCP loop, so any
+        // divergence in the optimized implementation shows up as a
+        // different allocation vector.
+        let mut curves: Vec<MissCurve> =
+            raw.into_iter().map(|pts| MissCurve::new(64, pts)).collect();
+        curves.push(MissCurve::new(64, vec![500.0, 500.0, 500.0, 0.0]));
+        let refs: Vec<&MissCurve> = curves.iter().collect();
+        prop_assert!(!refs.iter().all(|c| c.is_convex()));
+        prop_assert_eq!(
+            jumanji::core::lookahead::lookahead(&refs, total),
+            lookahead_reference(&refs, total)
+        );
+    }
+
+    #[test]
+    fn lookahead_convex_fast_path_matches_chunk_scan(
+        raw in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1000.0, 2..12),
+            2..6,
+        ),
+        total in 0usize..24,
+    ) {
+        // Convex hulls force the heap-based fast path. Its grant sequence
+        // can break exact ties differently from the chunk scan (the
+        // chunked average `(base - at(have+k)) / k` rounds independently
+        // of the unit gain), but on convex curves both are greedy-optimal:
+        // they must allocate the same total capacity and save the same
+        // number of misses.
+        let curves: Vec<MissCurve> = raw
+            .into_iter()
+            .map(|pts| MissCurve::new(64, pts).convex_hull())
+            .collect();
+        for c in &curves {
+            prop_assert!(c.is_convex());
+        }
+        let refs: Vec<&MissCurve> = curves.iter().collect();
+        let fast = jumanji::core::lookahead::lookahead(&refs, total);
+        let scan = lookahead_reference(&refs, total);
+        prop_assert_eq!(
+            fast.iter().sum::<usize>(),
+            scan.iter().sum::<usize>()
+        );
+        let misses = |alloc: &[usize]| -> f64 {
+            alloc.iter().zip(&refs).map(|(&u, c)| c.at(u)).sum()
+        };
+        let (mf, ms) = (misses(&fast), misses(&scan));
+        prop_assert!(
+            (mf - ms).abs() <= 1e-6 * (1.0 + ms.abs()),
+            "fast path {mf} vs chunk scan {ms}: {fast:?} vs {scan:?}"
+        );
     }
 
     #[test]
