@@ -1,110 +1,8 @@
-//! Ablation study of Jumanji's design choices (DESIGN.md §“ablations”):
-//!
-//! 1. **Trade refinement** (Sec. V-D): Jumanji + the trade pass vs plain
-//!    Jumanji — reproduces the paper's negative result (trades are rare
-//!    and gains marginal).
-//! 2. **Bank isolation** (Sec. VI-D): Jumanji vs Insecure — what the
-//!    security guarantee costs.
-//! 3. **Greedy LC placement** (Sec. VIII-C): Jumanji vs Ideal Batch — what
-//!    the simple LatCritPlacer leaves on the table.
-//! 4. **Controller panic** (Sec. V-C): paper controller vs one with the
-//!    panic disabled — why the boost matters for tails.
+//! Thin entry point: parse CLI/env into an ExperimentSpec and render.
+//! The figure itself lives in `jumanji_bench::figures`.
 
-use jumanji::core::jumanji_with_trades;
-use jumanji::prelude::*;
-use jumanji::sim::metrics::gmean;
-use jumanji_bench::exec::{parallel_map, thread_count};
-use jumanji_bench::mix_count;
+use jumanji_bench::{figure_main, FigureKind};
 
-fn main() {
-    let mixes = mix_count(6);
-    let opts = SimOptions::default();
-    let threads = thread_count();
-
-    // 1. Trade refinement on static placement problems.
-    let cfg = SystemConfig::micro2020();
-    let input = PlacementInput::example(&cfg);
-    let base = DesignKind::Jumanji.allocate(&input);
-    let (traded, stats) = jumanji_with_trades(&input);
-    let avg_batch_dist = |alloc: &jumanji::core::Allocation| -> f64 {
-        let batch: Vec<_> = input
-            .apps
-            .iter()
-            .filter(|a| a.kind == jumanji::core::AppKind::Batch)
-            .collect();
-        batch
-            .iter()
-            .map(|a| alloc.avg_distance(&input, a.id))
-            .sum::<f64>()
-            / batch.len() as f64
-    };
-    println!("# Ablation 1: trade-based refinement (paper Sec. V-D)");
-    println!(
-        "trades\taccepted {}/{} candidates",
-        stats.accepted, stats.attempted
-    );
-    println!(
-        "trades\tbatch avg distance: {:.3} hops -> {:.3} hops",
-        avg_batch_dist(&base),
-        avg_batch_dist(&traded)
-    );
-    println!("# expected: few accepts, marginal distance change (the paper omitted trades).\n");
-
-    // 2-3. Isolation and ideality costs over random mixes, one seed per
-    // worker-pool job.
-    let per_seed = parallel_map(mixes, threads, |seed| {
-        let exp = Experiment::new(case_study_mix(seed as u64), LcLoad::High, opts.clone());
-        let stat = exp.run(DesignKind::Static);
-        (
-            exp.run(DesignKind::Jumanji).weighted_speedup_vs(&stat),
-            exp.run(DesignKind::JumanjiInsecure)
-                .weighted_speedup_vs(&stat),
-            exp.run(DesignKind::JumanjiIdealBatch)
-                .weighted_speedup_vs(&stat),
-        )
-    });
-    let jumanji_s: Vec<f64> = per_seed.iter().map(|r| r.0).collect();
-    let insecure_s: Vec<f64> = per_seed.iter().map(|r| r.1).collect();
-    let ideal_s: Vec<f64> = per_seed.iter().map(|r| r.2).collect();
-    println!("# Ablation 2-3: isolation and greedy-placement costs ({mixes} mixes)");
-    println!(
-        "isolation\tjumanji {:+.2}% vs insecure {:+.2}% (cost {:.2} pp)",
-        (gmean(&jumanji_s) - 1.0) * 100.0,
-        (gmean(&insecure_s) - 1.0) * 100.0,
-        (gmean(&insecure_s) - gmean(&jumanji_s)) * 100.0
-    );
-    println!(
-        "greedy-lc\tjumanji {:+.2}% vs ideal {:+.2}% (gap {:.2} pp)",
-        (gmean(&jumanji_s) - 1.0) * 100.0,
-        (gmean(&ideal_s) - 1.0) * 100.0,
-        (gmean(&ideal_s) - gmean(&jumanji_s)) * 100.0
-    );
-    println!("# expected: isolation cost < ~3 pp, ideality gap < ~2 pp (Fig. 16).\n");
-
-    // 4. Panic ablation: raise the threshold out of reach.
-    let llc = SystemConfig::micro2020().llc.total_bytes() as f64;
-    let no_panic = ControllerParams {
-        panic_threshold: f64::MAX,
-        ..ControllerParams::micro2020(llc)
-    };
-    let tails = parallel_map(mixes, threads, |seed| {
-        let exp = Experiment::new(case_study_mix(seed as u64), LcLoad::High, opts.clone());
-        let with_t = exp.run(DesignKind::Jumanji).max_norm_tail();
-        let exp2 = Experiment::new(
-            case_study_mix(seed as u64),
-            LcLoad::High,
-            SimOptions {
-                controller: Some(no_panic),
-                ..opts.clone()
-            },
-        );
-        let without_t = exp2.run(DesignKind::Jumanji).max_norm_tail();
-        (with_t, without_t)
-    });
-    let with_t = tails.iter().map(|t| t.0).fold(0.0f64, f64::max);
-    let without_t = tails.iter().map(|t| t.1).fold(0.0f64, f64::max);
-    println!("# Ablation 4: controller panic boost");
-    println!("panic\tworst norm tail with panic: {with_t:.2}, without: {without_t:.2}");
-    println!("# expected: disabling the panic worsens worst-case tails (queueing spikes");
-    println!("# otherwise recover one 10% step per 100 ms).");
+fn main() -> std::process::ExitCode {
+    figure_main(FigureKind::Ablation)
 }

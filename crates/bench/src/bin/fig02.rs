@@ -1,125 +1,8 @@
-//! Fig. 2: representative data placements under each LLC design for the
-//! case-study workload, rendered as ASCII maps of the 5×4 LLC.
-//!
-//! Each bank cell lists the VMs occupying it (`0`–`3`), `*` marking banks
-//! that hold latency-critical data. Compare: S-NUCA designs put every VM
-//! in every bank; Jigsaw clusters by traffic; Jumanji never shares a bank
-//! across VMs.
-//!
-//! Two maps per design: the *descriptor* placement (what the allocator
-//! asked for) and the *observed* occupancy (which VMs' lines actually sit
-//! in each bank after a detailed simulation of the allocation). The four
-//! designs are independent cells fanned across the worker pool
-//! (`--threads N`); output is byte-identical at any thread count.
+//! Thin entry point: parse CLI/env into an ExperimentSpec and render.
+//! The figure itself lives in `jumanji_bench::figures`.
 
-use jumanji::core::AppKind;
-use jumanji::prelude::*;
-use jumanji::sim::detail::{run_detailed, DetailOptions, DetailReport};
-use jumanji::sim::perf::Profile;
-use jumanji::types::{AppId, BankId, CoreId, VmId};
-use jumanji::workloads::LcLoad;
-use jumanji_bench::exec::{parallel_map, thread_count};
+use jumanji_bench::{figure_main, FigureKind};
 
-/// Renders one 5×4 ASCII map; `occ_of` yields the apps present in a bank.
-fn render_map(
-    cfg: &SystemConfig,
-    input: &PlacementInput,
-    occ_of: impl Fn(BankId) -> Vec<AppId>,
-) -> String {
-    let mesh = cfg.mesh();
-    let mut out = String::new();
-    for row in 0..mesh.rows() {
-        for col in 0..mesh.cols() {
-            let bank = BankId(row * mesh.cols() + col);
-            let occ = occ_of(bank);
-            let mut vms: Vec<usize> = occ
-                .iter()
-                .map(|a| input.apps[a.index()].vm.index())
-                .collect();
-            vms.sort();
-            vms.dedup();
-            let has_lc = occ
-                .iter()
-                .any(|a| input.apps[a.index()].kind == AppKind::LatencyCritical);
-            let cell: String = vms.iter().map(|v| v.to_string()).collect();
-            let cell = if cell.is_empty() {
-                "-".to_string()
-            } else {
-                cell
-            };
-            out.push_str(&format!("[{:>4}{}]", cell, if has_lc { "*" } else { " " }));
-        }
-        out.push('\n');
-    }
-    out
-}
-
-fn main() {
-    let cfg = SystemConfig::micro2020();
-    let input = PlacementInput::example(&cfg);
-    let mesh = cfg.mesh();
-    let lc = tailbench();
-    let batch = spec2006();
-    let profiles: Vec<Profile> = input
-        .apps
-        .iter()
-        .enumerate()
-        .map(|(i, a)| match a.kind {
-            AppKind::LatencyCritical => Profile::Lc(lc[i % lc.len()].clone(), LcLoad::High),
-            AppKind::Batch => Profile::Batch(batch[i % batch.len()].clone()),
-        })
-        .collect();
-    let cores: Vec<CoreId> = input.apps.iter().map(|a| a.core).collect();
-    let vms: Vec<VmId> = input.apps.iter().map(|a| a.vm).collect();
-    let designs = [
-        DesignKind::Adaptive,
-        DesignKind::VmPart,
-        DesignKind::Jigsaw,
-        DesignKind::Jumanji,
-    ];
-
-    // Each design's detailed simulation is an independent cell.
-    let reports: Vec<(Allocation, DetailReport)> =
-        parallel_map(designs.len(), thread_count(), |i| {
-            let alloc = designs[i].allocate(&input);
-            let report = run_detailed(
-                &DetailOptions {
-                    cfg: cfg.clone(),
-                    accesses_per_app: 40_000,
-                    ..DetailOptions::default()
-                },
-                &profiles,
-                &cores,
-                &vms,
-                &alloc,
-            );
-            (alloc, report)
-        });
-
-    for (design, (alloc, report)) in designs.iter().zip(&reports) {
-        println!(
-            "# {design} placement ({}x{} banks)",
-            mesh.cols(),
-            mesh.rows()
-        );
-        print!("{}", render_map(&cfg, &input, |b| alloc.occupants(b)));
-        println!("# {design} observed occupancy (detailed sim, end of run)");
-        print!(
-            "{}",
-            render_map(&cfg, &input, |b| report.bank_occupants[b.index()].clone())
-        );
-        println!(
-            "# VM-isolated: placement {}, observed {}\n",
-            if alloc.vm_isolated(&input) {
-                "yes"
-            } else {
-                "no"
-            },
-            if report.vm_isolated(&vms) {
-                "yes"
-            } else {
-                "no"
-            }
-        );
-    }
+fn main() -> std::process::ExitCode {
+    figure_main(FigureKind::Fig02)
 }

@@ -1,38 +1,8 @@
-//! Fig. 4: how the LLC designs behave over time on the case study —
-//! (a) average end-to-end xapian latency, (b) average LLC allocation for
-//! xapian, and (c) vulnerability to shared-cache-structure attacks.
+//! Thin entry point: parse CLI/env into an ExperimentSpec and render.
+//! The figure itself lives in `jumanji_bench::figures`.
 
-use jumanji::prelude::*;
-use jumanji::types::Seconds;
+use jumanji_bench::{figure_main, FigureKind};
 
-fn main() {
-    let opts = SimOptions {
-        duration: Seconds(4.0),
-        ..SimOptions::default()
-    };
-    let mix = case_study_mix(1);
-    println!("# Fig. 4: case study over time (4 VMs x [xapian + 4 batch], high load)");
-    println!("design\tt_ms\tavg_latency_ms\tavg_alloc_mb\tvulnerability");
-    for design in DesignKind::main_four() {
-        let exp = Experiment::new(mix.clone(), LcLoad::High, opts.clone());
-        let r = exp.run(design);
-        for rec in &r.timeline {
-            let lat: Vec<f64> = rec.lc_mean_latency_ms.iter().flatten().copied().collect();
-            let avg_lat = if lat.is_empty() {
-                f64::NAN
-            } else {
-                lat.iter().sum::<f64>() / lat.len() as f64
-            };
-            let avg_alloc = rec.lc_alloc_bytes.iter().sum::<f64>()
-                / rec.lc_alloc_bytes.len() as f64
-                / 1048576.0;
-            println!(
-                "{}\t{:.0}\t{:.3}\t{:.3}\t{:.2}",
-                design, rec.t_ms, avg_lat, avg_alloc, rec.vulnerability
-            );
-        }
-    }
-    println!("# expected shapes: Jigsaw's latency grows over time (starved LC allocation);");
-    println!("# Adaptive/VM-Part hold latency low with more space than Jumanji;");
-    println!("# vulnerability: S-NUCA designs = 15, Jigsaw small, Jumanji = 0.");
+fn main() -> std::process::ExitCode {
+    figure_main(FigureKind::Fig04)
 }

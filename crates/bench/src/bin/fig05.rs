@@ -1,25 +1,8 @@
-//! Fig. 5: end-to-end case-study results — normalized tail latency and
-//! batch weighted speedup for each LLC design.
+//! Thin entry point: parse CLI/env into an ExperimentSpec and render.
+//! The figure itself lives in `jumanji_bench::figures`.
 
-use jumanji::prelude::*;
+use jumanji_bench::{figure_main, FigureKind};
 
-fn main() {
-    let opts = SimOptions::default();
-    let mix = case_study_mix(1);
-    let exp = Experiment::new(mix, LcLoad::High, opts);
-    let baseline = exp.run(DesignKind::Static);
-    println!("# Fig. 5: case study end-to-end (normalized to Static)");
-    println!("design\tworst_norm_tail\tbatch_speedup_pct\tvulnerability");
-    for design in DesignKind::main_four() {
-        let r = exp.run(design);
-        println!(
-            "{}\t{:.3}\t{:.2}\t{:.2}",
-            design,
-            r.max_norm_tail(),
-            (r.weighted_speedup_vs(&baseline) - 1.0) * 100.0,
-            r.vulnerability
-        );
-    }
-    println!("# expected: Adaptive/VM-Part meet deadlines with ~0% speedup;");
-    println!("# Jigsaw violates deadlines badly; Jumanji meets deadlines near Jigsaw's speedup.");
+fn main() -> std::process::ExitCode {
+    figure_main(FigureKind::Fig05)
 }

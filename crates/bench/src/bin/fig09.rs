@@ -1,82 +1,8 @@
-//! Fig. 9: sensitivity of Jumanji to the feedback controller's
-//! parameters — target latency range, panic threshold, and step size.
-//! Bars: gmean batch speedup; lines: worst normalized tail latency.
+//! Thin entry point: parse CLI/env into an ExperimentSpec and render.
+//! The figure itself lives in `jumanji_bench::figures`.
 
-use jumanji::prelude::*;
-use jumanji::sim::metrics::gmean;
-use jumanji_bench::mix_count;
+use jumanji_bench::{figure_main, FigureKind};
 
-fn run(params: ControllerParams, mixes: usize) -> (f64, f64) {
-    let mut speedups = Vec::new();
-    let mut worst_tail: f64 = 0.0;
-    for seed in 0..mixes as u64 {
-        let opts = SimOptions {
-            controller: Some(params),
-            ..SimOptions::default()
-        };
-        let exp = Experiment::new(case_study_mix(seed), LcLoad::High, opts);
-        let baseline = exp.run(DesignKind::Static);
-        let r = exp.run(DesignKind::Jumanji);
-        speedups.push(r.weighted_speedup_vs(&baseline));
-        worst_tail = worst_tail.max(r.max_norm_tail());
-    }
-    (gmean(&speedups), worst_tail)
-}
-
-fn main() {
-    let mixes = mix_count(5);
-    let llc = SystemConfig::micro2020().llc.total_bytes() as f64;
-    let base = ControllerParams::micro2020(llc);
-    println!("# Fig. 9: controller parameter sensitivity ({mixes} mixes, case study)");
-    println!("group\tvariant\tgmean_speedup_pct\tworst_norm_tail");
-    let cases: Vec<(&str, &str, ControllerParams)> = vec![
-        (
-            "target",
-            "75-85%",
-            ControllerParams {
-                target_low: 0.75,
-                target_high: 0.85,
-                ..base
-            },
-        ),
-        ("target", "85-95% (default)", base),
-        (
-            "target",
-            "90-100%",
-            ControllerParams {
-                target_low: 0.90,
-                target_high: 1.00,
-                ..base
-            },
-        ),
-        (
-            "panic",
-            "105%",
-            ControllerParams {
-                panic_threshold: 1.05,
-                ..base
-            },
-        ),
-        ("panic", "110% (default)", base),
-        (
-            "panic",
-            "120%",
-            ControllerParams {
-                panic_threshold: 1.20,
-                ..base
-            },
-        ),
-        ("step", "5%", ControllerParams { step: 0.05, ..base }),
-        ("step", "10% (default)", base),
-        ("step", "20%", ControllerParams { step: 0.20, ..base }),
-    ];
-    for (group, label, params) in cases {
-        let (speedup, tail) = run(params, mixes);
-        println!(
-            "{group}\t{label}\t{:.2}\t{:.3}",
-            (speedup - 1.0) * 100.0,
-            tail
-        );
-    }
-    println!("# expected: results change very little across parameter values (Sec. V-C).");
+fn main() -> std::process::ExitCode {
+    figure_main(FigureKind::Fig09)
 }

@@ -1,41 +1,8 @@
-//! Fig. 11: LLC port attack demonstration — attacker access times vs.
-//! wall-clock time while a 3-thread victim rotates through flooding each
-//! of the 12 LLC banks.
+//! Thin entry point: parse CLI/env into an ExperimentSpec and render.
+//! The figure itself lives in `jumanji_bench::figures`.
 
-use jumanji::attacks::port::{run_port_attack, PortAttackConfig};
+use jumanji_bench::{figure_main, FigureKind};
 
-fn main() {
-    let cfg = PortAttackConfig::default();
-    let trace = run_port_attack(cfg);
-    println!("# Fig. 11: attacker timing (cycles per access, sampled every 100 accesses)");
-    println!("t_kcycles\tcycles_per_access\tvictim_bank");
-    for s in &trace.samples {
-        println!(
-            "{:.1}\t{:.2}\t{}",
-            s.at as f64 / 1e3,
-            s.cycles_per_access,
-            s.victim_bank
-                .map(|b| b.to_string())
-                .unwrap_or_else(|| "-".to_string())
-        );
-    }
-    println!("# summary:");
-    println!(
-        "# baseline (victim idle): {:.1} cycles/access",
-        trace.baseline()
-    );
-    println!(
-        "# victim on other banks (NoC contention): {:.1} cycles/access",
-        trace.other_bank_level()
-    );
-    println!(
-        "# victim on attacker's bank (port contention): {:.1} cycles/access",
-        trace.same_bank_level()
-    );
-    println!(
-        "# attacker detects victim's bank: {}",
-        trace.detects_victim(2.0)
-    );
-    println!("# expected: 12 bumps (one per victim bank), with the attacker-bank bump highest");
-    println!("# (paper: avg time > 32 cycles during same-bank contention).");
+fn main() -> std::process::ExitCode {
+    figure_main(FigureKind::Fig11)
 }

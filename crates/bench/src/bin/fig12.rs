@@ -1,29 +1,8 @@
-//! Fig. 12: performance leakage through DRRIP set-dueling — img-dnn's
-//! tail latency across 40 batch mixes with a fixed S-NUCA partition (red)
-//! vs. a fixed D-NUCA allocation in its own banks (blue), normalized to
-//! img-dnn running alone.
+//! Thin entry point: parse CLI/env into an ExperimentSpec and render.
+//! The figure itself lives in `jumanji_bench::figures`.
 
-use jumanji::attacks::leakage::{leakage_experiment, LeakageConfig};
+use jumanji_bench::{figure_main, FigureKind};
 
-fn main() {
-    let r = leakage_experiment(LeakageConfig::default());
-    println!("# Fig. 12: img-dnn normalized tail latency, 40 mixes sorted best to worst");
-    println!("mix_rank\tsnuca_norm_tail\tdnuca_norm_tail");
-    for (i, (s, d)) in r
-        .snuca_norm_tails
-        .iter()
-        .zip(&r.dnuca_norm_tails)
-        .enumerate()
-    {
-        println!("{}\t{:.4}\t{:.4}", i + 1, s, d);
-    }
-    println!(
-        "# S-NUCA spread (max/min - 1): {:.1}% — the fixed partition does NOT isolate performance",
-        r.snuca_spread() * 100.0
-    );
-    println!(
-        "# D-NUCA spread: {:.3}% — private banks, private replacement state",
-        r.dnuca_spread() * 100.0
-    );
-    println!("# expected: S-NUCA varies by >10% across mixes; D-NUCA flat and lower.");
+fn main() -> std::process::ExitCode {
+    figure_main(FigureKind::Fig12)
 }

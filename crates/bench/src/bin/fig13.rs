@@ -1,59 +1,8 @@
-//! Fig. 13: the main result — normalized tail latency and gmean batch
-//! weighted speedup (relative to Static) over random batch mixes, at high
-//! and low latency-critical load, for each workload group and design.
-//!
-//! Box-and-whisker rows: min, q1, median, q3, max over mixes.
+//! Thin entry point: parse CLI/env into an ExperimentSpec and render.
+//! The figure itself lives in `jumanji_bench::figures`.
 
-use jumanji::prelude::*;
-use jumanji_bench::{mix_count, run_matrices, BoxStats, LcGroup, PAPER_MIXES};
+use jumanji_bench::{figure_main, FigureKind};
 
-fn main() {
-    let mixes = mix_count(PAPER_MIXES);
-    let designs = DesignKind::main_four();
-    let opts = SimOptions::default();
-    println!("# Fig. 13: tail latency + batch speedup over {mixes} random mixes");
-    println!("group\tload\tdesign\tmetric\tmin\tq1\tmedian\tq3\tmax");
-    // All (load, group) matrices go through one fan-out so every worker
-    // stays busy even at small mix counts.
-    let matrices: Vec<(LcGroup, LcLoad)> = [LcLoad::High, LcLoad::Low]
-        .into_iter()
-        .flat_map(|load| LcGroup::all().into_iter().map(move |g| (g, load)))
-        .collect();
-    let results = run_matrices(&matrices, &designs, mixes, &opts);
-    for ((group, load), cells) in matrices.iter().zip(&results) {
-        let load_label = match load {
-            LcLoad::High => "high",
-            LcLoad::Low => "low",
-        };
-        for (design, cell) in designs.iter().zip(cells) {
-            println!(
-                "{}\t{}\t{}\tnorm_tail\t{}",
-                group.label(),
-                load_label,
-                design,
-                BoxStats::of(&cell.norm_tails).tsv()
-            );
-            println!(
-                "{}\t{}\t{}\tspeedup\t{}",
-                group.label(),
-                load_label,
-                design,
-                BoxStats::of(&cell.speedups).tsv()
-            );
-        }
-        // Per-group gmean summary (quoted in the text).
-        for (design, cell) in designs.iter().zip(cells) {
-            eprintln!(
-                "[summary] {} {} {}: gmean speedup {:+.1}%, median norm tail {:.2}",
-                group.label(),
-                load_label,
-                design,
-                (cell.gmean_speedup() - 1.0) * 100.0,
-                BoxStats::of(&cell.norm_tails).median
-            );
-        }
-    }
-    println!("# expected: Adaptive/VM-Part/Jumanji norm tails ~<=1 (rare exceptions);");
-    println!("# Jigsaw violates massively (up to 100x+); speedups: Jumanji 11-15%,");
-    println!("# Jigsaw 11-18%, Adaptive <=4%, VM-Part <=3%.");
+fn main() -> std::process::ExitCode {
+    figure_main(FigureKind::Fig13)
 }

@@ -1,31 +1,8 @@
-//! Fig. 14: each LLC design's vulnerability to port attacks — average
-//! number of potential attackers per LLC access, averaged over all
-//! experiments.
+//! Thin entry point: parse CLI/env into an ExperimentSpec and render.
+//! The figure itself lives in `jumanji_bench::figures`.
 
-use jumanji::prelude::*;
-use jumanji_bench::{mix_count, run_matrices, LcGroup};
+use jumanji_bench::{figure_main, FigureKind};
 
-fn main() {
-    let mixes = mix_count(8);
-    let designs = DesignKind::main_four();
-    let opts = SimOptions::default();
-    let matrices: Vec<(LcGroup, LcLoad)> = [LcLoad::High, LcLoad::Low]
-        .into_iter()
-        .flat_map(|load| LcGroup::all().into_iter().map(move |g| (g, load)))
-        .collect();
-    let results = run_matrices(&matrices, &designs, mixes, &opts);
-    let mut acc = vec![Vec::new(); designs.len()];
-    for cells in &results {
-        for (d, cell) in cells.iter().enumerate() {
-            acc[d].extend(cell.vulnerability.iter().copied());
-        }
-    }
-    println!("# Fig. 14: avg potential attackers per LLC access ({mixes} mixes/group)");
-    println!("design\tavg_attackers");
-    for (design, vals) in designs.iter().zip(&acc) {
-        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-        println!("{design}\t{mean:.3}");
-    }
-    println!("# expected: Adaptive = VM-Part = 15 (all untrusted apps), Jigsaw small");
-    println!("# but nonzero (paper: 0.63), Jumanji exactly 0.");
+fn main() -> std::process::ExitCode {
+    figure_main(FigureKind::Fig14)
 }

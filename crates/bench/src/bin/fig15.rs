@@ -1,66 +1,8 @@
-//! Fig. 15: dynamic data-movement energy at high load, broken down into
-//! L1 / L2 / LLC banks / NoC / memory, normalized to Static.
+//! Thin entry point: parse CLI/env into an ExperimentSpec and render.
+//! The figure itself lives in `jumanji_bench::figures`.
 
-use jumanji::prelude::*;
-use jumanji_bench::{mix_count, run_matrices, LcGroup};
+use jumanji_bench::{figure_main, FigureKind};
 
-fn main() {
-    let mixes = mix_count(8);
-    let designs = [
-        DesignKind::Static,
-        DesignKind::Adaptive,
-        DesignKind::VmPart,
-        DesignKind::Jigsaw,
-        DesignKind::Jumanji,
-    ];
-    let opts = SimOptions::default();
-    println!("# Fig. 15: data-movement energy at high load, normalized to Static");
-    println!("group\tdesign\tl1\tl2\tllc\tnoc\tmem\ttotal");
-    let mut totals = vec![0.0f64; designs.len()];
-    let mut static_total = 0.0f64;
-    let matrices: Vec<(LcGroup, LcLoad)> = LcGroup::all()
-        .into_iter()
-        .map(|g| (g, LcLoad::High))
-        .collect();
-    let results = run_matrices(&matrices, &designs, mixes, &opts);
-    for ((group, _), cells) in matrices.iter().zip(&results) {
-        // Per-group Static baseline for normalization.
-        let base: f64 = cells[0]
-            .energy
-            .iter()
-            .map(|(a, b, c, d, e)| a + b + c + d + e)
-            .sum();
-        for (d, (design, cell)) in designs.iter().zip(cells).enumerate() {
-            let sum = |f: fn(&(f64, f64, f64, f64, f64)) -> f64| -> f64 {
-                cell.energy.iter().map(f).sum::<f64>() / base
-            };
-            let l1 = sum(|e| e.0);
-            let l2 = sum(|e| e.1);
-            let llc = sum(|e| e.2);
-            let noc = sum(|e| e.3);
-            let mem = sum(|e| e.4);
-            let total = l1 + l2 + llc + noc + mem;
-            println!(
-                "{}\t{}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
-                group.label(),
-                design,
-                l1,
-                l2,
-                llc,
-                noc,
-                mem,
-                total
-            );
-            totals[d] += total;
-            if d == 0 {
-                static_total += 1.0;
-            }
-        }
-    }
-    println!("# averages over groups (normalized total energy):");
-    for (design, t) in designs.iter().zip(&totals) {
-        println!("# {design}: {:.3}", t / static_total);
-    }
-    println!("# expected: Jumanji ~= Jigsaw ~= 0.87 (13% savings); Adaptive ~1.00;");
-    println!("# VM-Part slightly above 1.00 (associativity-induced extra misses).");
+fn main() -> std::process::ExitCode {
+    figure_main(FigureKind::Fig15)
 }

@@ -1,58 +1,8 @@
-//! Fig. 16: what Jumanji's security and simplicity cost — batch speedup of
-//! Jumanji vs. "Jumanji: Insecure" (no bank isolation) and "Jumanji: Ideal
-//! Batch" (no competition with latency-critical placement), at high and
-//! low load.
+//! Thin entry point: parse CLI/env into an ExperimentSpec and render.
+//! The figure itself lives in `jumanji_bench::figures`.
 
-use jumanji::prelude::*;
-use jumanji_bench::{mix_count, run_matrices, LcGroup};
+use jumanji_bench::{figure_main, FigureKind};
 
-fn main() {
-    let mixes = mix_count(8);
-    let designs = [
-        DesignKind::Jumanji,
-        DesignKind::JumanjiInsecure,
-        DesignKind::JumanjiIdealBatch,
-    ];
-    let opts = SimOptions::default();
-    println!("# Fig. 16: Jumanji vs Insecure vs Ideal Batch ({mixes} mixes/group)");
-    println!("load\tgroup\tjumanji_pct\tinsecure_pct\tideal_pct");
-    let loads = [LcLoad::High, LcLoad::Low];
-    let matrices: Vec<(LcGroup, LcLoad)> = loads
-        .into_iter()
-        .flat_map(|load| LcGroup::all().into_iter().map(move |g| (g, load)))
-        .collect();
-    let results = run_matrices(&matrices, &designs, mixes, &opts);
-    let groups_per_load = LcGroup::all().len();
-    for (load, chunk) in loads.iter().zip(results.chunks(groups_per_load)) {
-        let label = match load {
-            LcLoad::High => "high",
-            LcLoad::Low => "low",
-        };
-        let mut sums = [0.0f64; 3];
-        let mut count = 0.0;
-        for (group, cells) in LcGroup::all().iter().zip(chunk) {
-            let g: Vec<f64> = cells
-                .iter()
-                .map(|c| (c.gmean_speedup() - 1.0) * 100.0)
-                .collect();
-            println!(
-                "{label}\t{}\t{:.2}\t{:.2}\t{:.2}",
-                group.label(),
-                g[0],
-                g[1],
-                g[2]
-            );
-            for i in 0..3 {
-                sums[i] += g[i];
-            }
-            count += 1.0;
-        }
-        println!(
-            "# {label} averages: jumanji {:.2}%, insecure {:.2}%, ideal {:.2}%",
-            sums[0] / count,
-            sums[1] / count,
-            sums[2] / count
-        );
-    }
-    println!("# expected: Jumanji within ~3% of Insecure and ~2% of Ideal Batch (gmean).");
+fn main() -> std::process::ExitCode {
+    figure_main(FigureKind::Fig16)
 }

@@ -1,47 +1,8 @@
-//! Fig. 17: Jumanji's batch speedup as the 20 applications are grouped
-//! into 1 to 12 VMs (mixed latency-critical apps, high load).
+//! Thin entry point: parse CLI/env into an ExperimentSpec and render.
+//! The figure itself lives in `jumanji_bench::figures`.
 
-use jumanji::prelude::*;
-use jumanji::sim::metrics::gmean;
-use jumanji::workloads::WorkloadMix;
-use jumanji_bench::exec::{parallel_map, thread_count};
-use jumanji_bench::mix_count;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use jumanji_bench::{figure_main, FigureKind};
 
-fn main() {
-    let mixes = mix_count(8);
-    let opts = SimOptions::default();
-    println!(
-        "# Fig. 17: Jumanji batch speedup vs number of VMs ({mixes} mixes, mixed LC, high load)"
-    );
-    println!("config\tgmean_speedup_pct\tworst_norm_tail");
-    let configs = fig17_configs();
-    // One (config, seed) cell per job; seeds derive everything, so the
-    // fan-out reproduces the serial per-seed results exactly.
-    let jobs = parallel_map(configs.len() * mixes, thread_count(), |i| {
-        let (_, spec) = &configs[i / mixes];
-        let seed = (i % mixes) as u64;
-        // Four distinct LC servers, as in the Mixed group.
-        let mut pool = tailbench();
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xF17);
-        pool.shuffle(&mut rng);
-        pool.truncate(4);
-        let mix = WorkloadMix::from_spec(spec, &pool, seed);
-        let exp = Experiment::new(mix, LcLoad::High, opts.clone());
-        let baseline = exp.run(DesignKind::Static);
-        let r = exp.run(DesignKind::Jumanji);
-        (r.weighted_speedup_vs(&baseline), r.max_norm_tail())
-    });
-    for ((label, _), chunk) in configs.iter().zip(jobs.chunks(mixes)) {
-        let speedups: Vec<f64> = chunk.iter().map(|(s, _)| *s).collect();
-        let worst_tail = chunk.iter().map(|(_, t)| *t).fold(0.0f64, f64::max);
-        println!(
-            "{label}\t{:.2}\t{:.3}",
-            (gmean(&speedups) - 1.0) * 100.0,
-            worst_tail
-        );
-    }
-    println!("# expected: speedup roughly flat from 1 VM (~16%) to 12 VMs (~13%).");
+fn main() -> std::process::ExitCode {
+    figure_main(FigureKind::Fig17)
 }

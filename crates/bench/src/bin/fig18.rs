@@ -1,29 +1,8 @@
-//! Fig. 18: NoC sensitivity — Jumanji's batch speedup on random mixes as
-//! router delay varies from 1 to 3 cycles.
+//! Thin entry point: parse CLI/env into an ExperimentSpec and render.
+//! The figure itself lives in `jumanji_bench::figures`.
 
-use jumanji::prelude::*;
-use jumanji::sim::metrics::gmean;
-use jumanji_bench::mix_count;
+use jumanji_bench::{figure_main, FigureKind};
 
-fn main() {
-    let mixes = mix_count(8);
-    println!("# Fig. 18: Jumanji speedup vs router delay ({mixes} mixed-LC mixes, high load)");
-    println!("router_cycles\tgmean_speedup_pct");
-    for router in [1u64, 2, 3] {
-        let mut cfg = SystemConfig::micro2020();
-        cfg.noc.router_cycles = router;
-        let opts = SimOptions {
-            cfg,
-            ..SimOptions::default()
-        };
-        let mut speedups = Vec::new();
-        for seed in 0..mixes as u64 {
-            let exp = Experiment::new(WorkloadMix::mixed_lc(seed), LcLoad::High, opts.clone());
-            let baseline = exp.run(DesignKind::Static);
-            let r = exp.run(DesignKind::Jumanji);
-            speedups.push(r.weighted_speedup_vs(&baseline));
-        }
-        println!("{router}\t{:.2}", (gmean(&speedups) - 1.0) * 100.0);
-    }
-    println!("# expected: speedup grows with router delay (paper: ~9% -> ~15% for 1 -> 3).");
+fn main() -> std::process::ExitCode {
+    figure_main(FigureKind::Fig18)
 }

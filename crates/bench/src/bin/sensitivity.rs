@@ -1,143 +1,8 @@
-//! Robustness of the reproduction's conclusions to its modeling constants.
-//!
-//! The workload models involve calibrated constants the paper's real
-//! binaries fix implicitly (the pointer-chasing miss-serialization factor,
-//! simulated horizon, reconfiguration period, RNG seeds). This sweep shows
-//! the *qualitative* conclusions — Jumanji meets deadlines near Jigsaw's
-//! batch speedup while Jigsaw violates and S-NUCA designs gain nothing —
-//! hold across those choices.
+//! Thin entry point: parse CLI/env into an ExperimentSpec and render.
+//! The figure itself lives in `jumanji_bench::figures`.
 
-use jumanji::prelude::*;
-use jumanji::types::Seconds;
-use jumanji::workloads::WorkloadMix;
-use jumanji_bench::exec::{parallel_map, thread_count};
-use jumanji_bench::mix_count;
+use jumanji_bench::{figure_main, FigureKind};
 
-struct Row {
-    label: String,
-    jumanji_speedup: f64,
-    jigsaw_speedup: f64,
-    adaptive_speedup: f64,
-    jumanji_tail: f64,
-    jigsaw_tail: f64,
-}
-
-fn run_one(mix: WorkloadMix, opts: SimOptions, label: String) -> Row {
-    let exp = Experiment::new(mix, LcLoad::High, opts);
-    let stat = exp.run(DesignKind::Static);
-    let jumanji = exp.run(DesignKind::Jumanji);
-    let jigsaw = exp.run(DesignKind::Jigsaw);
-    let adaptive = exp.run(DesignKind::Adaptive);
-    Row {
-        label,
-        jumanji_speedup: (jumanji.weighted_speedup_vs(&stat) - 1.0) * 100.0,
-        jigsaw_speedup: (jigsaw.weighted_speedup_vs(&stat) - 1.0) * 100.0,
-        adaptive_speedup: (adaptive.weighted_speedup_vs(&stat) - 1.0) * 100.0,
-        jumanji_tail: jumanji.max_norm_tail(),
-        jigsaw_tail: jigsaw.max_norm_tail(),
-    }
-}
-
-fn main() {
-    let n = mix_count(3);
-    println!("# Sensitivity of conclusions to modeling choices ({n} seeds each)");
-    println!("knob\tvariant\tjumanji%\tjigsaw%\tadaptive%\tjumanji_tail\tjigsaw_tail");
-    // Job construction is cheap and deterministic; the expensive part (the
-    // four simulation runs per job) fans out across the thread pool, with
-    // results landing back in list order.
-    let mut jobs: Vec<(WorkloadMix, SimOptions, String)> = Vec::new();
-
-    // 1. Miss-serialization factor of the LC service model.
-    for stall in [2.0f64, 3.0, 4.0] {
-        for seed in 0..n as u64 {
-            let mut mix = case_study_mix(seed);
-            for vm in &mut mix.vms {
-                for lc in &mut vm.lc {
-                    lc.miss_stall = stall;
-                }
-            }
-            jobs.push((mix, SimOptions::default(), format!("miss_stall\t{stall}x")));
-        }
-    }
-    // 2. Simulated horizon.
-    for secs in [2.0f64, 4.0, 8.0] {
-        for seed in 0..n as u64 {
-            jobs.push((
-                case_study_mix(seed),
-                SimOptions {
-                    duration: Seconds(secs),
-                    ..SimOptions::default()
-                },
-                format!("duration\t{secs}s"),
-            ));
-        }
-    }
-    // 3. Reconfiguration period (the paper: "more frequent
-    //    reconfigurations do not improve results").
-    for ms in [50.0f64, 100.0, 200.0] {
-        for seed in 0..n as u64 {
-            jobs.push((
-                case_study_mix(seed),
-                SimOptions {
-                    reconfig: Seconds::from_millis(ms),
-                    ..SimOptions::default()
-                },
-                format!("reconfig\t{ms}ms"),
-            ));
-        }
-    }
-    // 4. Arrival-stream seeds.
-    for seed in 0..(3 * n as u64) {
-        jobs.push((
-            case_study_mix(seed),
-            SimOptions {
-                seed: seed ^ 0xC0FFEE,
-                ..SimOptions::default()
-            },
-            "seed\tvaried".to_string(),
-        ));
-    }
-
-    let rows: Vec<Row> = parallel_map(jobs.len(), thread_count(), |i| {
-        let (mix, opts, label) = &jobs[i];
-        run_one(mix.clone(), opts.clone(), label.clone())
-    });
-
-    // Aggregate rows by label.
-    let mut agg: Vec<(String, Vec<&Row>)> = Vec::new();
-    for r in &rows {
-        match agg.iter_mut().find(|(l, _)| *l == r.label) {
-            Some((_, v)) => v.push(r),
-            None => agg.push((r.label.clone(), vec![r])),
-        }
-    }
-    let mut ok = true;
-    for (label, group) in &agg {
-        let mean = |f: fn(&Row) -> f64| -> f64 {
-            group.iter().map(|r| f(r)).sum::<f64>() / group.len() as f64
-        };
-        let (ju, ji, ad) = (
-            mean(|r| r.jumanji_speedup),
-            mean(|r| r.jigsaw_speedup),
-            mean(|r| r.adaptive_speedup),
-        );
-        let (jut, jit) = (mean(|r| r.jumanji_tail), mean(|r| r.jigsaw_tail));
-        println!("{label}\t{ju:.2}\t{ji:.2}\t{ad:.2}\t{jut:.2}\t{jit:.2}");
-        // The qualitative claims under every variant: Jumanji gains real
-        // batch speedup while (roughly) meeting deadlines, Jigsaw gains
-        // more but its mean worst-case tail violates the deadline, and
-        // S-NUCA partitioning gains comparatively nothing. The Jigsaw
-        // gate is a violation test (> 1.1), not a magnitude test: how far
-        // past the deadline Jigsaw lands swings with the knobs (12.8x at
-        // 4x miss-serialization, 1.2x at 2x), and that swing is expected.
-        ok &= ju > 4.0 && ji > ju && ju > ad + 3.0 && jut < 1.5 && jit > 1.1;
-    }
-    println!(
-        "# qualitative conclusions hold under every variant: {}",
-        if ok {
-            "YES"
-        } else {
-            "NO — inspect rows above"
-        }
-    );
+fn main() -> std::process::ExitCode {
+    figure_main(FigureKind::Sensitivity)
 }

@@ -1,50 +1,8 @@
-//! Table II: system parameters of the simulated multicore.
+//! Thin entry point: parse CLI/env into an ExperimentSpec and render.
+//! The figure itself lives in `jumanji_bench::figures`.
 
-use jumanji::prelude::*;
+use jumanji_bench::{figure_main, FigureKind};
 
-fn main() {
-    let cfg = SystemConfig::micro2020();
-    cfg.validate().expect("paper configuration is valid");
-    println!("# Table II: system parameters (paper Sec. VII)");
-    println!("parameter\tvalue");
-    println!(
-        "cores\t{} cores, x86-64, {:.2} GHz OOO",
-        cfg.num_cores,
-        cfg.freq_hz / 1e9
-    );
-    println!(
-        "l1\t{} KB, {}-way, {}-cycle",
-        cfg.l1.size_bytes / 1024,
-        cfg.l1.ways,
-        cfg.l1.latency.as_u64()
-    );
-    println!(
-        "l2\t{} KB private, {}-way, {}-cycle",
-        cfg.l2.size_bytes / 1024,
-        cfg.l2.ways,
-        cfg.l2.latency.as_u64()
-    );
-    println!(
-        "llc\t{} MB shared, {}x{} MB banks, {}-way, {}-cycle bank latency",
-        cfg.llc.total_bytes() >> 20,
-        cfg.llc.num_banks,
-        cfg.llc.bank_bytes >> 20,
-        cfg.llc.ways,
-        cfg.llc.bank_latency.as_u64()
-    );
-    println!(
-        "noc\t{}x{} mesh, {}-bit flits, {}-cycle routers, {}-cycle links, X-Y routing",
-        cfg.mesh_cols, cfg.mesh_rows, cfg.noc.flit_bits, cfg.noc.router_cycles, cfg.noc.link_cycles
-    );
-    println!(
-        "memory\t{} controllers at chip corners, {}-cycle latency",
-        cfg.mem.num_controllers,
-        cfg.mem.latency.as_u64()
-    );
-    println!(
-        "derived\t{} total ways, {} sets/bank, {} B lines",
-        cfg.llc.total_ways(),
-        cfg.llc.sets_per_bank(),
-        cfg.llc.line_bytes
-    );
+fn main() -> std::process::ExitCode {
+    figure_main(FigureKind::Table2)
 }

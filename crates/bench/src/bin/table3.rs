@@ -1,19 +1,8 @@
-//! Table III: workload configuration for latency-critical applications,
-//! plus the derived deadlines used throughout the evaluation.
+//! Thin entry point: parse CLI/env into an ExperimentSpec and render.
+//! The figure itself lives in `jumanji_bench::figures`.
 
-use jumanji::prelude::*;
-use jumanji::sim::deadline::deadline_cycles;
+use jumanji_bench::{figure_main, FigureKind};
 
-fn main() {
-    let cfg = SystemConfig::micro2020();
-    println!("# Table III: latency-critical workload configuration");
-    println!("app\tqps_low\tqps_high\tnum_queries\tdeadline_ms");
-    for p in tailbench() {
-        let deadline = deadline_cycles(&p, &cfg) / cfg.freq_hz * 1e3;
-        println!(
-            "{}\t{}\t{}\t{}\t{:.3}",
-            p.name, p.qps_low, p.qps_high, p.num_queries, deadline
-        );
-    }
-    println!("# deadline = p95 latency in isolation, high load, 4-way partition (Sec. VII)");
+fn main() -> std::process::ExitCode {
+    figure_main(FigureKind::Table3)
 }

@@ -1,113 +1,8 @@
-//! Cross-validation of the two simulator layers: for each application, the
-//! analytic epoch model's miss ratio and hop distance vs. the detailed
-//! execution-driven simulation of the same allocation.
-//!
-//! Cells are `(design, mix)` pairs — each mix rotates which profile runs on
-//! which core — and every cell is independent, so they fan out across the
-//! worker pool. Per-cell seeds derive from the mix index alone; output is
-//! byte-identical at any `--threads`.
-//!
-//! Knobs: `--mixes N` (default 4), `--accesses N` per app (default
-//! 200_000), `--threads N`.
+//! Thin entry point: parse CLI/env into an ExperimentSpec and render.
+//! The figure itself lives in `jumanji_bench::figures`.
 
-use jumanji::core::AppKind;
-use jumanji::prelude::*;
-use jumanji::sim::detail::{run_detailed, DetailOptions, DetailReport};
-use jumanji::sim::perf::{evaluate, AppPerf, Profile};
-use jumanji::types::{CoreId, VmId};
-use jumanji::workloads::LcLoad;
-use jumanji_bench::exec::{flag_value, parallel_map, resolve_count, thread_count};
+use jumanji_bench::{figure_main, FigureKind};
 
-const DESIGNS: [DesignKind; 2] = [DesignKind::Adaptive, DesignKind::Jumanji];
-
-/// Builds the profile list for one mix by rotating the LC and batch
-/// rosters; mix 0 is the canonical assignment the seed tree used.
-fn profiles_for_mix(input: &PlacementInput, mix: usize) -> Vec<Profile> {
-    let lc = tailbench();
-    let batch = spec2006();
-    input
-        .apps
-        .iter()
-        .enumerate()
-        .map(|(i, a)| match a.kind {
-            AppKind::LatencyCritical => Profile::Lc(lc[(i + mix) % lc.len()].clone(), LcLoad::High),
-            AppKind::Batch => Profile::Batch(batch[(i + 2 * mix) % batch.len()].clone()),
-        })
-        .collect()
-}
-
-struct Cell {
-    design: DesignKind,
-    mix: usize,
-    profiles: Vec<Profile>,
-    analytic: Vec<AppPerf>,
-    detail: DetailReport,
-    isolated: bool,
-}
-
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let mixes = resolve_count(flag_value(&args, "--mixes").as_deref(), None, 4).max(1);
-    let accesses = resolve_count(flag_value(&args, "--accesses").as_deref(), None, 200_000).max(1);
-    let threads = thread_count();
-
-    let cfg = SystemConfig::micro2020();
-    let input = PlacementInput::example(&cfg);
-    let cores: Vec<CoreId> = input.apps.iter().map(|a| a.core).collect();
-    let vms: Vec<VmId> = input.apps.iter().map(|a| a.vm).collect();
-
-    // One cell per (design, mix); index = design * mixes + mix.
-    let cells = parallel_map(DESIGNS.len() * mixes, threads, |idx| {
-        let design = DESIGNS[idx / mixes];
-        let mix = idx % mixes;
-        let profiles = profiles_for_mix(&input, mix);
-        let rates: Vec<f64> = profiles
-            .iter()
-            .map(|p| match p {
-                Profile::Batch(b) => 1.5e9 * b.llc_apki / 1000.0,
-                Profile::Lc(l, load) => l.qps(*load) * l.accesses_per_req,
-            })
-            .collect();
-        let alloc = design.allocate(&input);
-        let analytic = evaluate(&cfg, &profiles, &cores, &alloc, &rates);
-        let opts = DetailOptions {
-            cfg: cfg.clone(),
-            accesses_per_app: accesses,
-            seed: DetailOptions::default().seed ^ (mix as u64).wrapping_mul(0x9E37_79B9),
-            ..DetailOptions::default()
-        };
-        let detail = run_detailed(&opts, &profiles, &cores, &vms, &alloc);
-        let isolated = detail.vm_isolated(&vms);
-        Cell {
-            design,
-            mix,
-            profiles,
-            analytic,
-            detail,
-            isolated,
-        }
-    });
-
-    println!("# Analytic vs detailed simulation, per app, {mixes} mixes, two designs");
-    println!("design\tmix\tapp\tcap_mb\tmr_analytic\tmr_detailed\thops_analytic\thops_detailed");
-    for cell in &cells {
-        for i in 0..cell.profiles.len() {
-            println!(
-                "{}\t{}\t{}\t{:.2}\t{:.3}\t{:.3}\t{:.2}\t{:.2}",
-                cell.design,
-                cell.mix,
-                cell.profiles[i].name(),
-                cell.analytic[i].capacity_bytes / 1048576.0,
-                cell.analytic[i].miss_ratio,
-                cell.detail.apps[i].miss_ratio(),
-                cell.analytic[i].avg_hops,
-                cell.detail.apps[i].avg_hops(),
-            );
-        }
-        println!(
-            "# {} mix {}: VM-isolated in real cache state: {}",
-            cell.design, cell.mix, cell.isolated
-        );
-    }
-    println!("# expected: columns agree within coarse tolerance; Jumanji isolated, Adaptive not.");
+fn main() -> std::process::ExitCode {
+    figure_main(FigureKind::Validate)
 }

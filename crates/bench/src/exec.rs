@@ -8,6 +8,9 @@
 //! - [`parallel_map`] — an order-preserving indexed map over a scoped
 //!   thread pool (work-stealing via an atomic index; no dependencies, no
 //!   unsafe code).
+//! - [`parallel_map_traced`] — the same engine emitting one
+//!   [`Event::WorkerSpan`] per job into a telemetry sink, for profiling
+//!   how cells spread across the pool.
 //! - [`thread_count`] / [`resolve_count`] / [`flag_value`] — worker-count
 //!   and knob resolution (`--flag N` beats the env var beats the default).
 //!
@@ -16,8 +19,10 @@
 //! byte-identical no matter how many workers run or how the scheduler
 //! interleaves them. `--threads 1` is the reference serial order.
 
+use jumanji::telemetry::{Event, NoopSink, Telemetry};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Returns the argument following `flag` (e.g., `--mixes`) in `args`.
 ///
@@ -38,17 +43,21 @@ pub fn resolve_count(flag: Option<&str>, env: Option<&str>, default: usize) -> u
         .unwrap_or(default)
 }
 
+/// The machine's available parallelism, at least 1.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Number of worker threads: `--threads N`, then `JUMANJI_THREADS`, then
 /// the machine's available parallelism.
 pub fn thread_count() -> usize {
     let args: Vec<String> = std::env::args().collect();
-    let default = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
     resolve_count(
         flag_value(&args, "--threads").as_deref(),
         std::env::var("JUMANJI_THREADS").ok().as_deref(),
-        default,
+        available_threads(),
     )
     .max(1)
 }
@@ -70,21 +79,54 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    parallel_map_traced(n, threads, &NoopSink, f)
+}
+
+/// [`parallel_map`] that also emits one [`Event::WorkerSpan`] per job:
+/// which worker ran it, when it started (µs since the fan-out began), and
+/// how long it took. With a disabled sink this is exactly [`parallel_map`].
+///
+/// # Panics
+///
+/// Propagates a panic from any job after the scope unwinds.
+pub fn parallel_map_traced<T, F>(n: usize, threads: usize, tel: &dyn Telemetry, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let workers = threads.min(n).max(1);
+    let tracing = tel.enabled();
+    let epoch = Instant::now();
+    let run = |worker: usize, i: usize| -> T {
+        if !tracing {
+            return f(i);
+        }
+        let start = epoch.elapsed();
+        let r = f(i);
+        let end = epoch.elapsed();
+        tel.emit(&Event::WorkerSpan {
+            worker,
+            job: i,
+            start_us: start.as_micros() as u64,
+            dur_us: (end - start).as_micros() as u64,
+        });
+        r
+    };
     if workers == 1 {
-        return (0..n).map(f).collect();
+        return (0..n).map(|i| run(0, i)).collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
+        let (next, slots, run) = (&next, &slots, &run);
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| loop {
+            .map(|w| {
+                s.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
-                    let r = f(i);
+                    let r = run(w, i);
                     *slots[i].lock().expect("slot lock") = Some(r);
                 })
             })
@@ -144,6 +186,26 @@ mod tests {
     fn parallel_map_handles_empty_and_single() {
         assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
         assert_eq!(parallel_map(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn traced_map_emits_one_span_per_job() {
+        use jumanji::telemetry::RecordingSink;
+        for threads in [1, 3] {
+            let sink = RecordingSink::new();
+            let out = parallel_map_traced(9, threads, &sink, |i| i * 2);
+            assert_eq!(out, (0..9).map(|i| i * 2).collect::<Vec<_>>());
+            let mut jobs: Vec<usize> = sink
+                .events()
+                .iter()
+                .map(|e| match e {
+                    Event::WorkerSpan { job, .. } => *job,
+                    other => panic!("unexpected event {other:?}"),
+                })
+                .collect();
+            jobs.sort_unstable();
+            assert_eq!(jobs, (0..9).collect::<Vec<_>>());
+        }
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Figure renderers: one `emit` function per figure/table/study, each
+//! writing the same TSV the original standalone binary printed.
+//!
+//! Every renderer takes the resolved [`ExperimentSpec`], a telemetry
+//! sink, and an output writer, so figures compose: a test can render
+//! into a `Vec<u8>` with a [`RecordingSink`](jumanji::telemetry::RecordingSink),
+//! while the binaries stream to stdout with a
+//! [`JsonlSink`](jumanji::telemetry::JsonlSink) behind `--trace`.
+//!
+//! Output contract: at a figure's default spec, the bytes written to
+//! `out` are identical to the pre-spec binaries (the golden TSVs under
+//! `results/` enforce this in CI). Human-facing summaries that were on
+//! stderr stay on stderr.
+
+use crate::spec::{ExperimentSpec, FigureKind};
+use jumanji::prelude::*;
+use jumanji::types::Error;
+use std::io::Write;
+
+mod attacks;
+mod case_study;
+mod main_results;
+mod scaling;
+mod studies;
+mod tables;
+mod validate;
+
+/// Renders `spec.kind` to `out`, emitting telemetry into `tel`.
+///
+/// # Errors
+///
+/// Usage errors for bad spec contents, runtime errors for I/O failures.
+pub fn emit(spec: &ExperimentSpec, tel: &dyn Telemetry, out: &mut dyn Write) -> Result<(), Error> {
+    match spec.kind {
+        FigureKind::Fig02 => case_study::fig02(spec, tel, out),
+        FigureKind::Fig04 => case_study::fig04(spec, tel, out),
+        FigureKind::Fig05 => case_study::fig05(spec, tel, out),
+        FigureKind::Fig08 => case_study::fig08(spec, tel, out),
+        FigureKind::Fig09 => case_study::fig09(spec, tel, out),
+        FigureKind::Fig11 => attacks::fig11(spec, tel, out),
+        FigureKind::Fig12 => attacks::fig12(spec, tel, out),
+        FigureKind::Fig13 => main_results::fig13(spec, tel, out),
+        FigureKind::Fig14 => main_results::fig14(spec, tel, out),
+        FigureKind::Fig15 => main_results::fig15(spec, tel, out),
+        FigureKind::Fig16 => main_results::fig16(spec, tel, out),
+        FigureKind::Fig17 => scaling::fig17(spec, tel, out),
+        FigureKind::Fig18 => scaling::fig18(spec, tel, out),
+        FigureKind::Table2 => tables::table2(spec, tel, out),
+        FigureKind::Table3 => tables::table3(spec, tel, out),
+        FigureKind::Ablation => studies::ablation(spec, tel, out),
+        FigureKind::Sensitivity => studies::sensitivity(spec, tel, out),
+        FigureKind::Validate => validate::validate(spec, tel, out),
+    }
+}
+
+/// The `(group, load)` matrix list shared by Figs. 13/14/16: every
+/// workload group at high then low load.
+fn groups_by_load(loads: &[LcLoad]) -> Vec<(crate::LcGroup, LcLoad)> {
+    loads
+        .iter()
+        .flat_map(|&load| crate::LcGroup::all().into_iter().map(move |g| (g, load)))
+        .collect()
+}
+
+/// Display label for a load level.
+fn load_label(load: LcLoad) -> &'static str {
+    match load {
+        LcLoad::High => "high",
+        LcLoad::Low => "low",
+    }
+}
+
+/// Analytic-simulator options derived from the spec (seed 1 — the
+/// default — reproduces the golden TSVs byte for byte).
+fn sim_opts(spec: &ExperimentSpec) -> SimOptions {
+    SimOptions {
+        seed: spec.seed,
+        ..SimOptions::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jumanji::telemetry::{NoopSink, RecordingSink};
+
+    /// Renders `kind` at minimum cost into a buffer and sanity-checks it.
+    fn smoke(kind: FigureKind, mixes: usize) -> String {
+        let spec = ExperimentSpec::new(kind)
+            .mixes(mixes)
+            .threads(2)
+            .accesses(2_000);
+        let mut buf = Vec::new();
+        emit(&spec, &NoopSink, &mut buf).expect("figure renders");
+        let text = String::from_utf8(buf).expect("valid utf-8");
+        assert!(
+            text.starts_with('#'),
+            "{}: output must open with a comment header",
+            kind.name()
+        );
+        assert!(
+            text.ends_with('\n'),
+            "{}: output must end with a newline",
+            kind.name()
+        );
+        assert!(text.lines().count() >= 3, "{}: too few lines", kind.name());
+        text
+    }
+
+    #[test]
+    fn cheap_figures_render_well_formed_tsv() {
+        // The figures that finish quickly even in debug builds; the full
+        // 18-figure sweep runs under JUMANJI_SMOKE_ALL=1 (CI does this in
+        // release mode via scripts/verify.sh).
+        let tables = smoke(FigureKind::Table2, 1);
+        assert!(tables.contains("parameter\tvalue"));
+        let t3 = smoke(FigureKind::Table3, 1);
+        assert!(t3.contains("deadline_ms"));
+        let f8 = smoke(FigureKind::Fig08, 1);
+        assert!(f8.contains("alloc_mb\tsnuca_p95_ms\tdnuca_p95_ms"));
+        let f5 = smoke(FigureKind::Fig05, 1);
+        // One data row per design in the default list.
+        let rows = f5
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.starts_with("design"))
+            .count();
+        assert_eq!(rows, FigureKind::Fig05.default_designs().len());
+    }
+
+    #[test]
+    fn every_figure_renders_at_mixes_1_when_enabled() {
+        if std::env::var_os("JUMANJI_SMOKE_ALL").is_none() {
+            eprintln!("set JUMANJI_SMOKE_ALL=1 to sweep all 18 figures");
+            return;
+        }
+        for kind in FigureKind::all() {
+            smoke(kind, 1);
+        }
+    }
+
+    #[test]
+    fn trace_sink_sees_a_whole_figure_run() {
+        // Fig. 5 runs the baseline plus four designs serially; the sink
+        // must observe one RunSummary per run and the per-interval
+        // controller stream, without changing the rendered bytes.
+        let spec = ExperimentSpec::new(FigureKind::Fig05).threads(1);
+        let mut plain = Vec::new();
+        emit(&spec, &NoopSink, &mut plain).expect("renders");
+        let sink = RecordingSink::new();
+        let mut traced = Vec::new();
+        emit(&spec, &sink, &mut traced).expect("renders");
+        assert_eq!(plain, traced, "telemetry must not perturb figure output");
+        let events = sink.events();
+        let summaries = events
+            .iter()
+            .filter(|e| matches!(e, jumanji::telemetry::Event::RunSummary { .. }))
+            .count();
+        assert_eq!(summaries, 1 + spec.designs.len());
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, jumanji::telemetry::Event::Controller { .. })));
+    }
+}

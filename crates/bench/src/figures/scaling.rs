@@ -1,0 +1,90 @@
+//! Scaling and sensitivity figures: VM-count scaling (Fig. 17) and NoC
+//! router-delay sensitivity (Fig. 18).
+
+use super::sim_opts;
+use crate::exec::parallel_map_traced;
+use crate::spec::ExperimentSpec;
+use jumanji::prelude::*;
+use jumanji::sim::metrics::gmean;
+use jumanji::types::Error;
+use jumanji::workloads::WorkloadMix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::io::Write;
+
+/// Fig. 17: Jumanji's batch speedup as the 20 applications are grouped
+/// into 1 to 12 VMs (mixed latency-critical apps, high load).
+pub fn fig17(spec: &ExperimentSpec, tel: &dyn Telemetry, out: &mut dyn Write) -> Result<(), Error> {
+    let mixes = spec.mixes;
+    let opts = sim_opts(spec);
+    writeln!(
+        out,
+        "# Fig. 17: Jumanji batch speedup vs number of VMs ({mixes} mixes, mixed LC, high load)"
+    )?;
+    writeln!(out, "config\tgmean_speedup_pct\tworst_norm_tail")?;
+    let configs = fig17_configs();
+    // One (config, seed) cell per job; seeds derive everything, so the
+    // fan-out reproduces the serial per-seed results exactly.
+    let jobs = parallel_map_traced(configs.len() * mixes, spec.threads, tel, |i| {
+        let (_, cfg_spec) = &configs[i / mixes];
+        let seed = (i % mixes) as u64;
+        // Four distinct LC servers, as in the Mixed group.
+        let mut pool = tailbench();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF17);
+        pool.shuffle(&mut rng);
+        pool.truncate(4);
+        let mix = WorkloadMix::from_spec(cfg_spec, &pool, seed);
+        let exp = Experiment::new(mix, LcLoad::High, opts.clone());
+        let baseline = exp.run_traced(DesignKind::Static, tel);
+        let r = exp.run_traced(DesignKind::Jumanji, tel);
+        (r.weighted_speedup_vs(&baseline), r.max_norm_tail())
+    });
+    for ((label, _), chunk) in configs.iter().zip(jobs.chunks(mixes)) {
+        let speedups: Vec<f64> = chunk.iter().map(|(s, _)| *s).collect();
+        let worst_tail = chunk.iter().map(|(_, t)| *t).fold(0.0f64, f64::max);
+        writeln!(
+            out,
+            "{label}\t{:.2}\t{:.3}",
+            (gmean(&speedups) - 1.0) * 100.0,
+            worst_tail
+        )?;
+    }
+    writeln!(
+        out,
+        "# expected: speedup roughly flat from 1 VM (~16%) to 12 VMs (~13%)."
+    )?;
+    Ok(())
+}
+
+/// Fig. 18: NoC sensitivity — Jumanji's batch speedup on random mixes as
+/// router delay varies from 1 to 3 cycles.
+pub fn fig18(spec: &ExperimentSpec, tel: &dyn Telemetry, out: &mut dyn Write) -> Result<(), Error> {
+    let mixes = spec.mixes;
+    writeln!(
+        out,
+        "# Fig. 18: Jumanji speedup vs router delay ({mixes} mixed-LC mixes, high load)"
+    )?;
+    writeln!(out, "router_cycles\tgmean_speedup_pct")?;
+    for router in [1u64, 2, 3] {
+        let mut cfg = SystemConfig::micro2020();
+        cfg.noc.router_cycles = router;
+        let opts = SimOptions {
+            cfg,
+            ..sim_opts(spec)
+        };
+        let mut speedups = Vec::new();
+        for seed in 0..mixes as u64 {
+            let exp = Experiment::new(WorkloadMix::mixed_lc(seed), LcLoad::High, opts.clone());
+            let baseline = exp.run_traced(DesignKind::Static, tel);
+            let r = exp.run_traced(DesignKind::Jumanji, tel);
+            speedups.push(r.weighted_speedup_vs(&baseline));
+        }
+        writeln!(out, "{router}\t{:.2}", (gmean(&speedups) - 1.0) * 100.0)?;
+    }
+    writeln!(
+        out,
+        "# expected: speedup grows with router delay (paper: ~9% -> ~15% for 1 -> 3)."
+    )?;
+    Ok(())
+}

@@ -1,0 +1,299 @@
+//! Reproduction studies beyond the paper's figures: the design-choice
+//! ablation and the modeling-constant sensitivity sweep.
+
+use super::sim_opts;
+use crate::exec::parallel_map_traced;
+use crate::spec::ExperimentSpec;
+use jumanji::core::jumanji_with_trades;
+use jumanji::prelude::*;
+use jumanji::sim::metrics::gmean;
+use jumanji::types::{Error, Seconds};
+use jumanji::workloads::WorkloadMix;
+use std::io::Write;
+
+/// Ablation study of Jumanji's design choices (DESIGN.md §"ablations"):
+///
+/// 1. **Trade refinement** (Sec. V-D): Jumanji + the trade pass vs plain
+///    Jumanji — reproduces the paper's negative result (trades are rare
+///    and gains marginal).
+/// 2. **Bank isolation** (Sec. VI-D): Jumanji vs Insecure — what the
+///    security guarantee costs.
+/// 3. **Greedy LC placement** (Sec. VIII-C): Jumanji vs Ideal Batch —
+///    what the simple LatCritPlacer leaves on the table.
+/// 4. **Controller panic** (Sec. V-C): paper controller vs one with the
+///    panic disabled — why the boost matters for tails.
+pub fn ablation(
+    spec: &ExperimentSpec,
+    tel: &dyn Telemetry,
+    out: &mut dyn Write,
+) -> Result<(), Error> {
+    let mixes = spec.mixes;
+    let opts = sim_opts(spec);
+    let threads = spec.threads;
+
+    // 1. Trade refinement on static placement problems.
+    let cfg = SystemConfig::micro2020();
+    let input = PlacementInput::example(&cfg);
+    let base = DesignKind::Jumanji.allocate(&input);
+    let (traded, stats) = jumanji_with_trades(&input);
+    let avg_batch_dist = |alloc: &jumanji::core::Allocation| -> f64 {
+        let batch: Vec<_> = input
+            .apps
+            .iter()
+            .filter(|a| a.kind == jumanji::core::AppKind::Batch)
+            .collect();
+        batch
+            .iter()
+            .map(|a| alloc.avg_distance(&input, a.id))
+            .sum::<f64>()
+            / batch.len() as f64
+    };
+    writeln!(out, "# Ablation 1: trade-based refinement (paper Sec. V-D)")?;
+    writeln!(
+        out,
+        "trades\taccepted {}/{} candidates",
+        stats.accepted, stats.attempted
+    )?;
+    writeln!(
+        out,
+        "trades\tbatch avg distance: {:.3} hops -> {:.3} hops",
+        avg_batch_dist(&base),
+        avg_batch_dist(&traded)
+    )?;
+    writeln!(
+        out,
+        "# expected: few accepts, marginal distance change (the paper omitted trades).\n"
+    )?;
+
+    // 2-3. Isolation and ideality costs over random mixes, one seed per
+    // worker-pool job.
+    let per_seed = parallel_map_traced(mixes, threads, tel, |seed| {
+        let exp = Experiment::new(case_study_mix(seed as u64), LcLoad::High, opts.clone());
+        let stat = exp.run_traced(DesignKind::Static, tel);
+        (
+            exp.run_traced(DesignKind::Jumanji, tel)
+                .weighted_speedup_vs(&stat),
+            exp.run_traced(DesignKind::JumanjiInsecure, tel)
+                .weighted_speedup_vs(&stat),
+            exp.run_traced(DesignKind::JumanjiIdealBatch, tel)
+                .weighted_speedup_vs(&stat),
+        )
+    });
+    let jumanji_s: Vec<f64> = per_seed.iter().map(|r| r.0).collect();
+    let insecure_s: Vec<f64> = per_seed.iter().map(|r| r.1).collect();
+    let ideal_s: Vec<f64> = per_seed.iter().map(|r| r.2).collect();
+    writeln!(
+        out,
+        "# Ablation 2-3: isolation and greedy-placement costs ({mixes} mixes)"
+    )?;
+    writeln!(
+        out,
+        "isolation\tjumanji {:+.2}% vs insecure {:+.2}% (cost {:.2} pp)",
+        (gmean(&jumanji_s) - 1.0) * 100.0,
+        (gmean(&insecure_s) - 1.0) * 100.0,
+        (gmean(&insecure_s) - gmean(&jumanji_s)) * 100.0
+    )?;
+    writeln!(
+        out,
+        "greedy-lc\tjumanji {:+.2}% vs ideal {:+.2}% (gap {:.2} pp)",
+        (gmean(&jumanji_s) - 1.0) * 100.0,
+        (gmean(&ideal_s) - 1.0) * 100.0,
+        (gmean(&ideal_s) - gmean(&jumanji_s)) * 100.0
+    )?;
+    writeln!(
+        out,
+        "# expected: isolation cost < ~3 pp, ideality gap < ~2 pp (Fig. 16).\n"
+    )?;
+
+    // 4. Panic ablation: raise the threshold out of reach.
+    let llc = SystemConfig::micro2020().llc.total_bytes() as f64;
+    let no_panic = ControllerParams {
+        panic_threshold: f64::MAX,
+        ..ControllerParams::micro2020(llc)
+    };
+    let tails = parallel_map_traced(mixes, threads, tel, |seed| {
+        let exp = Experiment::new(case_study_mix(seed as u64), LcLoad::High, opts.clone());
+        let with_t = exp.run_traced(DesignKind::Jumanji, tel).max_norm_tail();
+        let exp2 = Experiment::new(
+            case_study_mix(seed as u64),
+            LcLoad::High,
+            SimOptions {
+                controller: Some(no_panic),
+                ..opts.clone()
+            },
+        );
+        let without_t = exp2.run_traced(DesignKind::Jumanji, tel).max_norm_tail();
+        (with_t, without_t)
+    });
+    let with_t = tails.iter().map(|t| t.0).fold(0.0f64, f64::max);
+    let without_t = tails.iter().map(|t| t.1).fold(0.0f64, f64::max);
+    writeln!(out, "# Ablation 4: controller panic boost")?;
+    writeln!(
+        out,
+        "panic\tworst norm tail with panic: {with_t:.2}, without: {without_t:.2}"
+    )?;
+    writeln!(
+        out,
+        "# expected: disabling the panic worsens worst-case tails (queueing spikes"
+    )?;
+    writeln!(out, "# otherwise recover one 10% step per 100 ms).")?;
+    Ok(())
+}
+
+struct Row {
+    label: String,
+    jumanji_speedup: f64,
+    jigsaw_speedup: f64,
+    adaptive_speedup: f64,
+    jumanji_tail: f64,
+    jigsaw_tail: f64,
+}
+
+fn sensitivity_run_one(
+    mix: WorkloadMix,
+    opts: SimOptions,
+    label: String,
+    tel: &dyn Telemetry,
+) -> Row {
+    let exp = Experiment::new(mix, LcLoad::High, opts);
+    let stat = exp.run_traced(DesignKind::Static, tel);
+    let jumanji = exp.run_traced(DesignKind::Jumanji, tel);
+    let jigsaw = exp.run_traced(DesignKind::Jigsaw, tel);
+    let adaptive = exp.run_traced(DesignKind::Adaptive, tel);
+    Row {
+        label,
+        jumanji_speedup: (jumanji.weighted_speedup_vs(&stat) - 1.0) * 100.0,
+        jigsaw_speedup: (jigsaw.weighted_speedup_vs(&stat) - 1.0) * 100.0,
+        adaptive_speedup: (adaptive.weighted_speedup_vs(&stat) - 1.0) * 100.0,
+        jumanji_tail: jumanji.max_norm_tail(),
+        jigsaw_tail: jigsaw.max_norm_tail(),
+    }
+}
+
+/// Robustness of the reproduction's conclusions to its modeling
+/// constants.
+///
+/// The workload models involve calibrated constants the paper's real
+/// binaries fix implicitly (the pointer-chasing miss-serialization
+/// factor, simulated horizon, reconfiguration period, RNG seeds). This
+/// sweep shows the *qualitative* conclusions — Jumanji meets deadlines
+/// near Jigsaw's batch speedup while Jigsaw violates and S-NUCA designs
+/// gain nothing — hold across those choices.
+pub fn sensitivity(
+    spec: &ExperimentSpec,
+    tel: &dyn Telemetry,
+    out: &mut dyn Write,
+) -> Result<(), Error> {
+    let n = spec.mixes;
+    writeln!(
+        out,
+        "# Sensitivity of conclusions to modeling choices ({n} seeds each)"
+    )?;
+    writeln!(
+        out,
+        "knob\tvariant\tjumanji%\tjigsaw%\tadaptive%\tjumanji_tail\tjigsaw_tail"
+    )?;
+    // Job construction is cheap and deterministic; the expensive part
+    // (the four simulation runs per job) fans out across the thread
+    // pool, with results landing back in list order.
+    let mut jobs: Vec<(WorkloadMix, SimOptions, String)> = Vec::new();
+
+    // 1. Miss-serialization factor of the LC service model.
+    for stall in [2.0f64, 3.0, 4.0] {
+        for seed in 0..n as u64 {
+            let mut mix = case_study_mix(seed);
+            for vm in &mut mix.vms {
+                for lc in &mut vm.lc {
+                    lc.miss_stall = stall;
+                }
+            }
+            jobs.push((mix, SimOptions::default(), format!("miss_stall\t{stall}x")));
+        }
+    }
+    // 2. Simulated horizon.
+    for secs in [2.0f64, 4.0, 8.0] {
+        for seed in 0..n as u64 {
+            jobs.push((
+                case_study_mix(seed),
+                SimOptions {
+                    duration: Seconds(secs),
+                    ..SimOptions::default()
+                },
+                format!("duration\t{secs}s"),
+            ));
+        }
+    }
+    // 3. Reconfiguration period (the paper: "more frequent
+    //    reconfigurations do not improve results").
+    for ms in [50.0f64, 100.0, 200.0] {
+        for seed in 0..n as u64 {
+            jobs.push((
+                case_study_mix(seed),
+                SimOptions {
+                    reconfig: Seconds::from_millis(ms),
+                    ..SimOptions::default()
+                },
+                format!("reconfig\t{ms}ms"),
+            ));
+        }
+    }
+    // 4. Arrival-stream seeds.
+    for seed in 0..(3 * n as u64) {
+        jobs.push((
+            case_study_mix(seed),
+            SimOptions {
+                seed: seed ^ 0xC0FFEE,
+                ..SimOptions::default()
+            },
+            "seed\tvaried".to_string(),
+        ));
+    }
+
+    let rows: Vec<Row> = parallel_map_traced(jobs.len(), spec.threads, tel, |i| {
+        let (mix, opts, label) = &jobs[i];
+        sensitivity_run_one(mix.clone(), opts.clone(), label.clone(), tel)
+    });
+
+    // Aggregate rows by label.
+    let mut agg: Vec<(String, Vec<&Row>)> = Vec::new();
+    for r in &rows {
+        match agg.iter_mut().find(|(l, _)| *l == r.label) {
+            Some((_, v)) => v.push(r),
+            None => agg.push((r.label.clone(), vec![r])),
+        }
+    }
+    let mut ok = true;
+    for (label, group) in &agg {
+        let mean = |f: fn(&Row) -> f64| -> f64 {
+            group.iter().map(|r| f(r)).sum::<f64>() / group.len() as f64
+        };
+        let (ju, ji, ad) = (
+            mean(|r| r.jumanji_speedup),
+            mean(|r| r.jigsaw_speedup),
+            mean(|r| r.adaptive_speedup),
+        );
+        let (jut, jit) = (mean(|r| r.jumanji_tail), mean(|r| r.jigsaw_tail));
+        writeln!(
+            out,
+            "{label}\t{ju:.2}\t{ji:.2}\t{ad:.2}\t{jut:.2}\t{jit:.2}"
+        )?;
+        // The qualitative claims under every variant: Jumanji gains real
+        // batch speedup while (roughly) meeting deadlines, Jigsaw gains
+        // more but its mean worst-case tail violates the deadline, and
+        // S-NUCA partitioning gains comparatively nothing. The Jigsaw
+        // gate is a violation test (> 1.1), not a magnitude test: how far
+        // past the deadline Jigsaw lands swings with the knobs (12.8x at
+        // 4x miss-serialization, 1.2x at 2x), and that swing is expected.
+        ok &= ju > 4.0 && ji > ju && ju > ad + 3.0 && jut < 1.5 && jit > 1.1;
+    }
+    writeln!(
+        out,
+        "# qualitative conclusions hold under every variant: {}",
+        if ok {
+            "YES"
+        } else {
+            "NO — inspect rows above"
+        }
+    )?;
+    Ok(())
+}

@@ -1,0 +1,126 @@
+//! Cross-validation of the two simulator layers: for each application,
+//! the analytic epoch model's miss ratio and hop distance vs. the
+//! detailed execution-driven simulation of the same allocation.
+
+use crate::exec::parallel_map_traced;
+use crate::spec::ExperimentSpec;
+use jumanji::core::AppKind;
+use jumanji::prelude::*;
+use jumanji::sim::detail::{run_detailed_traced, DetailOptions, DetailReport};
+use jumanji::sim::perf::{evaluate, AppPerf, Profile};
+use jumanji::types::{CoreId, Error, VmId};
+use std::io::Write;
+
+const DESIGNS: [DesignKind; 2] = [DesignKind::Adaptive, DesignKind::Jumanji];
+
+/// Builds the profile list for one mix by rotating the LC and batch
+/// rosters; mix 0 is the canonical assignment the seed tree used.
+fn profiles_for_mix(input: &PlacementInput, mix: usize) -> Vec<Profile> {
+    let lc = tailbench();
+    let batch = spec2006();
+    input
+        .apps
+        .iter()
+        .enumerate()
+        .map(|(i, a)| match a.kind {
+            AppKind::LatencyCritical => Profile::Lc(lc[(i + mix) % lc.len()].clone(), LcLoad::High),
+            AppKind::Batch => Profile::Batch(batch[(i + 2 * mix) % batch.len()].clone()),
+        })
+        .collect()
+}
+
+struct Cell {
+    design: DesignKind,
+    mix: usize,
+    profiles: Vec<Profile>,
+    analytic: Vec<AppPerf>,
+    detail: DetailReport,
+    isolated: bool,
+}
+
+/// Analytic-vs-detailed cross-validation over `(design, mix)` cells.
+///
+/// Cells are independent, so they fan out across the worker pool;
+/// per-cell seeds derive from the mix index alone, so output is
+/// byte-identical at any thread count.
+pub fn validate(
+    spec: &ExperimentSpec,
+    tel: &dyn Telemetry,
+    out: &mut dyn Write,
+) -> Result<(), Error> {
+    let mixes = spec.mixes;
+    let accesses = spec.accesses;
+    let threads = spec.threads;
+
+    let cfg = SystemConfig::micro2020();
+    let input = PlacementInput::example(&cfg);
+    let cores: Vec<CoreId> = input.apps.iter().map(|a| a.core).collect();
+    let vms: Vec<VmId> = input.apps.iter().map(|a| a.vm).collect();
+
+    // One cell per (design, mix); index = design * mixes + mix.
+    let cells = parallel_map_traced(DESIGNS.len() * mixes, threads, tel, |idx| {
+        let design = DESIGNS[idx / mixes];
+        let mix = idx % mixes;
+        let profiles = profiles_for_mix(&input, mix);
+        let rates: Vec<f64> = profiles
+            .iter()
+            .map(|p| match p {
+                Profile::Batch(b) => 1.5e9 * b.llc_apki / 1000.0,
+                Profile::Lc(l, load) => l.qps(*load) * l.accesses_per_req,
+            })
+            .collect();
+        let alloc = design.allocate(&input);
+        let analytic = evaluate(&cfg, &profiles, &cores, &alloc, &rates);
+        let opts = DetailOptions {
+            cfg: cfg.clone(),
+            accesses_per_app: accesses,
+            seed: DetailOptions::default().seed ^ (mix as u64).wrapping_mul(0x9E37_79B9),
+            ..DetailOptions::default()
+        };
+        let detail = run_detailed_traced(&opts, &profiles, &cores, &vms, &alloc, tel);
+        let isolated = detail.vm_isolated(&vms);
+        Cell {
+            design,
+            mix,
+            profiles,
+            analytic,
+            detail,
+            isolated,
+        }
+    });
+
+    writeln!(
+        out,
+        "# Analytic vs detailed simulation, per app, {mixes} mixes, two designs"
+    )?;
+    writeln!(
+        out,
+        "design\tmix\tapp\tcap_mb\tmr_analytic\tmr_detailed\thops_analytic\thops_detailed"
+    )?;
+    for cell in &cells {
+        for i in 0..cell.profiles.len() {
+            writeln!(
+                out,
+                "{}\t{}\t{}\t{:.2}\t{:.3}\t{:.3}\t{:.2}\t{:.2}",
+                cell.design,
+                cell.mix,
+                cell.profiles[i].name(),
+                cell.analytic[i].capacity_bytes / 1048576.0,
+                cell.analytic[i].miss_ratio,
+                cell.detail.apps[i].miss_ratio(),
+                cell.analytic[i].avg_hops,
+                cell.detail.apps[i].avg_hops(),
+            )?;
+        }
+        writeln!(
+            out,
+            "# {} mix {}: VM-isolated in real cache state: {}",
+            cell.design, cell.mix, cell.isolated
+        )?;
+    }
+    writeln!(
+        out,
+        "# expected: columns agree within coarse tolerance; Jumanji isolated, Adaptive not."
+    )?;
+    Ok(())
+}

@@ -1,32 +1,45 @@
 //! Shared harness code for the figure-reproduction binaries.
 //!
 //! Every table and figure in the paper's evaluation has a binary in
-//! `src/bin/` (`fig04` … `fig18`, `table2`, `table3`) that regenerates the
-//! corresponding rows/series as TSV on stdout. This library holds the
-//! common machinery: design matrices over random mixes, box-plot summary
-//! statistics, and output helpers.
+//! `src/bin/` (`fig02` … `fig18`, `table2`, `table3`, plus the ablation,
+//! sensitivity, and validation studies) that regenerates the corresponding
+//! rows/series as TSV on stdout. The binaries are thin wrappers: each one
+//! is a single [`figure_main`] call, and everything they share lives
+//! here —
+//!
+//! - [`ExperimentSpec`] / [`FigureKind`] ([`spec`]): *what to run*. One
+//!   builder covers every figure's knobs (mixes, threads, seed, designs,
+//!   detailed-sim accesses, telemetry), with `--flag` > `JUMANJI_*` env >
+//!   per-figure default resolution and typed usage errors.
+//! - [`figures`]: *how each figure renders*, writing TSV to any
+//!   `io::Write`.
+//! - The design-matrix engine ([`run_mix`], [`run_matrix`],
+//!   [`run_matrices`]): random mixes × designs fanned over a worker pool,
+//!   sharing one Static baseline per mix.
+//! - [`BoxStats`]: five-number summaries for box-and-whisker rows.
+//! - [`exec`]: the deterministic parallel-map engine and its traced
+//!   variant.
+//!
+//! Fallible operations return [`enum@Error`] instead of panicking;
+//! [`figure_main`] maps usage errors to exit code 2 and runtime errors
+//! to 1.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod exec;
+pub mod figures;
+pub mod spec;
+
+pub use spec::{figure_main, run_spec, run_spec_to, ExperimentSpec, FigureKind};
 
 use jumanji::prelude::*;
 use jumanji::sim::metrics::gmean;
+use jumanji::types::Error;
+use std::cell::RefCell;
 
 /// Number of random batch mixes per configuration in the paper (Fig. 13).
 pub const PAPER_MIXES: usize = 40;
-
-/// Reads the mix count from the command line (`--mixes N`), the
-/// `JUMANJI_MIXES` env var, or defaults to `default`.
-pub fn mix_count(default: usize) -> usize {
-    let args: Vec<String> = std::env::args().collect();
-    exec::resolve_count(
-        exec::flag_value(&args, "--mixes").as_deref(),
-        std::env::var("JUMANJI_MIXES").ok().as_deref(),
-        default,
-    )
-}
 
 /// Five-number summary for box-and-whisker figures.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,27 +59,70 @@ pub struct BoxStats {
 impl BoxStats {
     /// Computes the summary of a non-empty sample.
     ///
-    /// # Panics
+    /// Quartiles interpolate between the neighbouring order statistics at
+    /// `p·(n-1)`, matching a full sort — but only the handful of ranks the
+    /// summary needs are selected (ascending `select_nth_unstable` on
+    /// shrinking suffixes of a thread-local scratch buffer), so the cost
+    /// is O(n) instead of O(n log n) and the caller's slice is untouched.
     ///
-    /// Panics if `values` is empty.
-    pub fn of(values: &[f64]) -> BoxStats {
-        assert!(!values.is_empty(), "need at least one value");
-        let mut v = values.to_vec();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptySample`] when `values` is empty.
+    pub fn of(values: &[f64]) -> Result<BoxStats, Error> {
+        if values.is_empty() {
+            return Err(Error::empty_sample("box-plot values"));
+        }
+        thread_local! {
+            static SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+        }
+        let n = values.len();
+        // Sorted ranks the summary needs: the extremes plus the floor/ceil
+        // neighbours of each quartile position.
+        let mut ranks = [0usize; 8];
+        ranks[0] = 0;
+        ranks[1] = n - 1;
+        for (k, p) in [0.25, 0.5, 0.75].into_iter().enumerate() {
+            let idx = p * (n - 1) as f64;
+            ranks[2 + 2 * k] = idx.floor() as usize;
+            ranks[3 + 2 * k] = idx.ceil() as usize;
+        }
+        ranks.sort_unstable();
+        let mut vals = [0.0f64; 8];
+        SCRATCH.with(|cell| {
+            let mut v = cell.borrow_mut();
+            v.clear();
+            v.extend_from_slice(values);
+            // Ascending selection: once rank r is placed, everything at or
+            // before it is ≤ the remaining ranks, so the next selection
+            // works on the suffix v[r..].
+            let mut base = 0usize;
+            for (j, &r) in ranks.iter().enumerate() {
+                if j > 0 && ranks[j - 1] == r {
+                    vals[j] = vals[j - 1];
+                    continue;
+                }
+                let (_, x, _) = v[base..].select_nth_unstable_by(r - base, |a, b| {
+                    a.partial_cmp(b).expect("finite values")
+                });
+                vals[j] = *x;
+                base = r;
+            }
+        });
+        let at = |r: usize| vals[ranks.iter().position(|&x| x == r).expect("rank present")];
         let q = |p: f64| -> f64 {
-            let idx = p * (v.len() - 1) as f64;
+            let idx = p * (n - 1) as f64;
             let lo = idx.floor() as usize;
             let hi = idx.ceil() as usize;
             let frac = idx - lo as f64;
-            v[lo] * (1.0 - frac) + v[hi] * frac
+            at(lo) * (1.0 - frac) + at(hi) * frac
         };
-        BoxStats {
-            min: v[0],
+        Ok(BoxStats {
+            min: at(0),
             q1: q(0.25),
             median: q(0.5),
             q3: q(0.75),
-            max: v[v.len() - 1],
-        }
+            max: at(n - 1),
+        })
     }
 
     /// TSV fields `min q1 median q3 max`.
@@ -178,16 +234,21 @@ impl LcGroup {
     }
 
     /// Builds the mix for seed `seed`.
-    pub fn mix(self, seed: u64) -> WorkloadMix {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownWorkload`] when a [`LcGroup::Same`] name
+    /// matches no TailBench server.
+    pub fn mix(self, seed: u64) -> Result<WorkloadMix, Error> {
         match self {
             LcGroup::Same(name) => {
                 let lc = tailbench()
                     .into_iter()
                     .find(|p| p.name == name)
-                    .unwrap_or_else(|| panic!("unknown LC app {name}"));
-                WorkloadMix::uniform_lc(&lc, seed)
+                    .ok_or_else(|| Error::unknown_workload(name))?;
+                Ok(WorkloadMix::uniform_lc(&lc, seed))
             }
-            LcGroup::Mixed => WorkloadMix::mixed_lc(seed),
+            LcGroup::Mixed => Ok(WorkloadMix::mixed_lc(seed)),
         }
     }
 }
@@ -198,90 +259,109 @@ impl LcGroup {
 /// Seed derivation matches the serial harness exactly
 /// (`opts.seed ^ seed · 0x9E37_79B9`), so this is safe to fan out across
 /// threads: each mix's RNG streams depend only on its own seed.
+///
+/// Every run (including the Static baseline) goes through
+/// [`Experiment::run_traced`] with `tel`, so an enabled sink sees the
+/// per-interval controller and allocation events of the whole matrix.
+///
+/// # Errors
+///
+/// Returns [`Error::UnknownWorkload`] when the group names no server.
 pub fn run_mix(
     group: LcGroup,
     load: LcLoad,
     designs: &[DesignKind],
     seed: u64,
     opts: &SimOptions,
-) -> Vec<MixMetrics> {
+    tel: &dyn Telemetry,
+) -> Result<Vec<MixMetrics>, Error> {
     let mut opts = opts.clone();
     opts.seed ^= seed.wrapping_mul(0x9E37_79B9);
-    let exp = Experiment::new(group.mix(seed), load, opts);
-    let baseline = exp.run(DesignKind::Static);
-    designs
+    let exp = Experiment::new(group.mix(seed)?, load, opts);
+    let baseline = exp.run_traced(DesignKind::Static, tel);
+    Ok(designs
         .iter()
         .map(|&design| {
             if design == DesignKind::Static {
                 MixMetrics::of(&baseline, &baseline)
             } else {
-                MixMetrics::of(&exp.run(design), &baseline)
+                MixMetrics::of(&exp.run_traced(design, tel), &baseline)
             }
         })
-        .collect()
+        .collect())
 }
 
 /// Runs `design` and the Static baseline over `mixes` random mixes of one
 /// workload group at one load, collecting the Fig. 13 distributions.
+///
+/// # Errors
+///
+/// Propagates [`run_mix`] errors.
 pub fn run_cell(
     group: LcGroup,
     load: LcLoad,
     design: DesignKind,
     mixes: usize,
     opts: &SimOptions,
-) -> DesignCell {
-    run_matrix(group, load, &[design], mixes, opts)
-        .pop()
-        .expect("one design in, one cell out")
+    threads: usize,
+    tel: &dyn Telemetry,
+) -> Result<DesignCell, Error> {
+    Ok(
+        run_matrix(group, load, &[design], mixes, opts, threads, tel)?
+            .pop()
+            .expect("one design in, one cell out"),
+    )
 }
 
 /// Runs every design (plus baseline) over mixes, returning per-design
 /// cells in `designs` order — shares the Static baseline across designs
-/// and fans mixes across [`exec::thread_count`] workers.
+/// and fans mixes across `threads` workers (`1` = reference serial order;
+/// any other count produces identical results).
+///
+/// # Errors
+///
+/// Propagates [`run_mix`] errors.
 pub fn run_matrix(
     group: LcGroup,
     load: LcLoad,
     designs: &[DesignKind],
     mixes: usize,
     opts: &SimOptions,
-) -> Vec<DesignCell> {
-    run_matrix_threads(group, load, designs, mixes, opts, exec::thread_count())
-}
-
-/// [`run_matrix`] with an explicit worker count (`1` = reference serial
-/// order; any other count produces identical results).
-pub fn run_matrix_threads(
-    group: LcGroup,
-    load: LcLoad,
-    designs: &[DesignKind],
-    mixes: usize,
-    opts: &SimOptions,
     threads: usize,
-) -> Vec<DesignCell> {
-    let per_mix = exec::parallel_map(mixes, threads, |seed| {
-        run_mix(group, load, designs, seed as u64, opts)
+    tel: &dyn Telemetry,
+) -> Result<Vec<DesignCell>, Error> {
+    let per_mix = exec::parallel_map_traced(mixes, threads, tel, |seed| {
+        run_mix(group, load, designs, seed as u64, opts, tel)
     });
-    collect_cells(designs.len(), mixes, &per_mix)
+    let per_mix: Vec<Vec<MixMetrics>> = per_mix.into_iter().collect::<Result<_, _>>()?;
+    Ok(collect_cells(designs.len(), mixes, &per_mix))
 }
 
 /// Runs a whole batch of `(group, load)` matrices in one thread-pool
 /// fan-out, so parallelism spans cells as well as mixes (a figure run with
 /// `--mixes 4` still keeps every worker busy). Returns one `Vec<DesignCell>`
 /// per input matrix, in order, each identical to a [`run_matrix`] call.
+///
+/// # Errors
+///
+/// Propagates [`run_mix`] errors.
 pub fn run_matrices(
     matrices: &[(LcGroup, LcLoad)],
     designs: &[DesignKind],
     mixes: usize,
     opts: &SimOptions,
-) -> Vec<Vec<DesignCell>> {
-    let per_job = exec::parallel_map(matrices.len() * mixes, exec::thread_count(), |i| {
+    threads: usize,
+    tel: &dyn Telemetry,
+) -> Result<Vec<Vec<DesignCell>>, Error> {
+    let per_job = exec::parallel_map_traced(matrices.len() * mixes, threads, tel, |i| {
         let (group, load) = matrices[i / mixes];
-        run_mix(group, load, designs, (i % mixes) as u64, opts)
+        run_mix(group, load, designs, (i % mixes) as u64, opts, tel)
     });
-    per_job
+    let per_job: Vec<Vec<MixMetrics>> = per_job.into_iter().collect::<Result<_, _>>()?;
+    Ok(per_job
         .chunks(mixes)
         .map(|chunk| collect_cells(designs.len(), mixes, chunk))
-        .collect()
+        .collect())
 }
 
 /// Transposes per-mix metric rows into per-design cells.
@@ -300,15 +380,54 @@ fn collect_cells(designs: usize, mixes: usize, per_mix: &[Vec<MixMetrics>]) -> V
 #[cfg(test)]
 mod tests {
     use super::*;
+    use jumanji::telemetry::RecordingSink;
 
     #[test]
     fn box_stats_quartiles() {
-        let s = BoxStats::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let s = BoxStats::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).expect("non-empty");
         assert_eq!(s.min, 1.0);
         assert_eq!(s.median, 3.0);
         assert_eq!(s.max, 5.0);
         assert_eq!(s.q1, 2.0);
         assert_eq!(s.q3, 4.0);
+    }
+
+    #[test]
+    fn box_stats_matches_full_sort_reference() {
+        // The selection-based quantiles must agree with the old
+        // sort-everything implementation on awkward sizes (1, 2, ties,
+        // interpolated quartiles).
+        let samples: Vec<Vec<f64>> = vec![
+            vec![7.0],
+            vec![2.0, 1.0],
+            vec![3.0, 1.0, 2.0, 2.0],
+            vec![0.5, 9.0, 3.25, 3.25, 3.25, 1.0, 8.0],
+            (0..97).map(|i| ((i * 31) % 89) as f64 * 0.125).collect(),
+        ];
+        for values in samples {
+            let got = BoxStats::of(&values).expect("non-empty");
+            let mut v = values.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let q = |p: f64| -> f64 {
+                let idx = p * (v.len() - 1) as f64;
+                let lo = idx.floor() as usize;
+                let hi = idx.ceil() as usize;
+                let frac = idx - lo as f64;
+                v[lo] * (1.0 - frac) + v[hi] * frac
+            };
+            assert_eq!(got.min, v[0], "{values:?}");
+            assert_eq!(got.q1, q(0.25), "{values:?}");
+            assert_eq!(got.median, q(0.5), "{values:?}");
+            assert_eq!(got.q3, q(0.75), "{values:?}");
+            assert_eq!(got.max, v[v.len() - 1], "{values:?}");
+        }
+    }
+
+    #[test]
+    fn box_stats_rejects_empty_sample() {
+        let err = BoxStats::of(&[]).expect_err("empty must fail");
+        assert!(!err.is_usage());
+        assert!(err.to_string().contains("empty sample"));
     }
 
     #[test]
@@ -321,8 +440,10 @@ mod tests {
     }
 
     #[test]
-    fn mix_count_default() {
-        assert_eq!(mix_count(12), 12);
+    fn unknown_workload_is_a_typed_usage_error() {
+        let err = LcGroup::Same("nonesuch").mix(0).expect_err("must fail");
+        assert!(err.is_usage());
+        assert!(err.to_string().contains("nonesuch"));
     }
 
     fn quick_opts() -> SimOptions {
@@ -337,23 +458,71 @@ mod tests {
         // The engine must be a pure wall-clock optimization: same seeds,
         // same results, bit for bit, at any worker count.
         let designs = [DesignKind::Static, DesignKind::Jigsaw, DesignKind::Jumanji];
-        let serial = run_matrix_threads(
+        let serial = run_matrix(
             LcGroup::Same("xapian"),
             LcLoad::High,
             &designs,
             2,
             &quick_opts(),
             1,
-        );
-        let parallel = run_matrix_threads(
+            &NoopSink,
+        )
+        .expect("known workload");
+        let parallel = run_matrix(
             LcGroup::Same("xapian"),
             LcLoad::High,
             &designs,
             2,
             &quick_opts(),
             4,
-        );
+            &NoopSink,
+        )
+        .expect("known workload");
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn traced_matrix_matches_untraced_and_emits_controller_events() {
+        let designs = [DesignKind::Jumanji];
+        let plain = run_matrix(
+            LcGroup::Mixed,
+            LcLoad::High,
+            &designs,
+            1,
+            &quick_opts(),
+            1,
+            &NoopSink,
+        )
+        .expect("mixed group");
+        let sink = RecordingSink::new();
+        let traced = run_matrix(
+            LcGroup::Mixed,
+            LcLoad::High,
+            &designs,
+            1,
+            &quick_opts(),
+            1,
+            &sink,
+        )
+        .expect("mixed group");
+        assert_eq!(plain, traced, "tracing must not perturb results");
+        let events = sink.events();
+        // Baseline + Jumanji, 5 intervals each, 4 LC apps.
+        let controllers = events
+            .iter()
+            .filter(|e| matches!(e, Event::Controller { .. }))
+            .count();
+        assert_eq!(controllers, 2 * 5 * 4);
+        let summaries = events
+            .iter()
+            .filter(|e| matches!(e, Event::RunSummary { .. }))
+            .count();
+        assert_eq!(summaries, 2);
+        let spans = events
+            .iter()
+            .filter(|e| matches!(e, Event::WorkerSpan { .. }))
+            .count();
+        assert_eq!(spans, 1, "one parallel-map job");
     }
 
     #[test]
@@ -363,9 +532,11 @@ mod tests {
             (LcGroup::Same("silo"), LcLoad::Low),
             (LcGroup::Mixed, LcLoad::High),
         ];
-        let batched = run_matrices(&matrices, &designs, 2, &quick_opts());
+        let batched = run_matrices(&matrices, &designs, 2, &quick_opts(), 4, &NoopSink)
+            .expect("known workloads");
         for ((group, load), cells) in matrices.iter().zip(&batched) {
-            let single = run_matrix_threads(*group, *load, &designs, 2, &quick_opts(), 1);
+            let single = run_matrix(*group, *load, &designs, 2, &quick_opts(), 1, &NoopSink)
+                .expect("known workloads");
             assert_eq!(*cells, single);
         }
     }

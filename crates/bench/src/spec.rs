@@ -1,0 +1,505 @@
+//! One declarative description of a figure run, shared by every binary.
+//!
+//! [`ExperimentSpec`] collects the knobs the 18 figure/table binaries
+//! used to resolve by hand — mix count, worker threads, RNG seed,
+//! detailed-sim accesses, design list, output, telemetry — behind one
+//! builder, with one resolution order everywhere:
+//!
+//! 1. CLI flag (`--mixes`, `--threads`, `--seed`, `--accesses`,
+//!    `--trace`) — strict: a missing or unparseable value is a usage
+//!    error.
+//! 2. Environment (`JUMANJI_MIXES`, `JUMANJI_THREADS`, `JUMANJI_TRACE`)
+//!    — lenient: an unparseable value falls through, so a stale export
+//!    degrades to the default instead of silently meaning something
+//!    else.
+//! 3. The figure's own default ([`FigureKind::default_mixes`] etc.).
+//!
+//! A binary is then a one-liner:
+//!
+//! ```no_run
+//! use jumanji_bench::{figure_main, FigureKind};
+//!
+//! fn main() -> std::process::ExitCode {
+//!     figure_main(FigureKind::Fig13)
+//! }
+//! ```
+//!
+//! and library callers build specs directly:
+//!
+//! ```no_run
+//! use jumanji_bench::{run_spec, ExperimentSpec, FigureKind};
+//!
+//! let spec = ExperimentSpec::new(FigureKind::Fig14).mixes(2).threads(4);
+//! run_spec(&spec).expect("figure renders");
+//! ```
+
+use crate::figures;
+use jumanji::prelude::*;
+use jumanji::types::Error;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+/// Every figure, table, and study binary in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variants mirror the paper's figure numbers
+pub enum FigureKind {
+    Fig02,
+    Fig04,
+    Fig05,
+    Fig08,
+    Fig09,
+    Fig11,
+    Fig12,
+    Fig13,
+    Fig14,
+    Fig15,
+    Fig16,
+    Fig17,
+    Fig18,
+    Table2,
+    Table3,
+    Ablation,
+    Sensitivity,
+    Validate,
+}
+
+impl FigureKind {
+    /// All kinds, in figure order.
+    pub fn all() -> [FigureKind; 18] {
+        use FigureKind::*;
+        [
+            Fig02,
+            Fig04,
+            Fig05,
+            Fig08,
+            Fig09,
+            Fig11,
+            Fig12,
+            Fig13,
+            Fig14,
+            Fig15,
+            Fig16,
+            Fig17,
+            Fig18,
+            Table2,
+            Table3,
+            Ablation,
+            Sensitivity,
+            Validate,
+        ]
+    }
+
+    /// Binary name (`fig13`, `table2`, …).
+    pub fn name(self) -> &'static str {
+        use FigureKind::*;
+        match self {
+            Fig02 => "fig02",
+            Fig04 => "fig04",
+            Fig05 => "fig05",
+            Fig08 => "fig08",
+            Fig09 => "fig09",
+            Fig11 => "fig11",
+            Fig12 => "fig12",
+            Fig13 => "fig13",
+            Fig14 => "fig14",
+            Fig15 => "fig15",
+            Fig16 => "fig16",
+            Fig17 => "fig17",
+            Fig18 => "fig18",
+            Table2 => "table2",
+            Table3 => "table3",
+            Ablation => "ablation",
+            Sensitivity => "sensitivity",
+            Validate => "validate",
+        }
+    }
+
+    /// Default mix/seed count. Figures that run a single fixed scenario
+    /// (the case study, the attack demos, the config tables) report `1`.
+    pub fn default_mixes(self) -> usize {
+        use FigureKind::*;
+        match self {
+            Fig13 => crate::PAPER_MIXES,
+            Fig14 | Fig15 | Fig16 | Fig17 | Fig18 => 8,
+            Fig09 => 5,
+            Ablation => 6,
+            Validate => 4,
+            Sensitivity => 3,
+            Fig02 | Fig04 | Fig05 | Fig08 | Fig11 | Fig12 | Table2 | Table3 => 1,
+        }
+    }
+
+    /// Default detailed-sim accesses per app (only [`FigureKind::Fig02`]
+    /// and [`FigureKind::Validate`] run the detailed simulator).
+    pub fn default_accesses(self) -> usize {
+        match self {
+            FigureKind::Fig02 => 40_000,
+            _ => 200_000,
+        }
+    }
+
+    /// Default design list. Empty for figures whose structure fixes the
+    /// designs (e.g. Fig. 16's three Jumanji variants, the attack demos).
+    pub fn default_designs(self) -> Vec<DesignKind> {
+        use FigureKind::*;
+        match self {
+            Fig02 => vec![
+                DesignKind::Adaptive,
+                DesignKind::VmPart,
+                DesignKind::Jigsaw,
+                DesignKind::Jumanji,
+            ],
+            Fig04 | Fig05 | Fig13 | Fig14 => DesignKind::main_four().to_vec(),
+            Fig15 => vec![
+                DesignKind::Static,
+                DesignKind::Adaptive,
+                DesignKind::VmPart,
+                DesignKind::Jigsaw,
+                DesignKind::Jumanji,
+            ],
+            Fig16 => vec![
+                DesignKind::Jumanji,
+                DesignKind::JumanjiInsecure,
+                DesignKind::JumanjiIdealBatch,
+            ],
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Declarative description of one figure run.
+///
+/// Build with [`ExperimentSpec::new`] (per-figure defaults) or
+/// [`ExperimentSpec::from_args_env`] (the binaries' CLI/env resolution),
+/// then refine with the builder methods and hand to [`run_spec`].
+#[derive(Clone)]
+pub struct ExperimentSpec {
+    /// Which figure to render.
+    pub kind: FigureKind,
+    /// Random mixes (or seeds) per configuration.
+    pub mixes: usize,
+    /// Worker threads for the experiment fan-out.
+    pub threads: usize,
+    /// Base RNG seed (the analytic simulator's arrival streams and the
+    /// case-study mix derive from it).
+    pub seed: u64,
+    /// Detailed-sim accesses per app (Fig. 2 and the validation study).
+    pub accesses: usize,
+    /// Designs to evaluate, for figures that iterate over a design list.
+    pub designs: Vec<DesignKind>,
+    /// Write telemetry as JSONL to this path (ignored when `telemetry`
+    /// is set).
+    pub trace: Option<PathBuf>,
+    /// Explicit telemetry sink; takes precedence over `trace`.
+    pub telemetry: Option<Arc<dyn Telemetry>>,
+}
+
+impl std::fmt::Debug for ExperimentSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExperimentSpec")
+            .field("kind", &self.kind)
+            .field("mixes", &self.mixes)
+            .field("threads", &self.threads)
+            .field("seed", &self.seed)
+            .field("accesses", &self.accesses)
+            .field("designs", &self.designs)
+            .field("trace", &self.trace)
+            .field("telemetry", &self.telemetry.as_ref().map(|_| ".."))
+            .finish()
+    }
+}
+
+impl ExperimentSpec {
+    /// A spec with `kind`'s defaults: paper mix count, all available
+    /// cores, seed 1, no telemetry.
+    pub fn new(kind: FigureKind) -> ExperimentSpec {
+        ExperimentSpec {
+            kind,
+            mixes: kind.default_mixes(),
+            threads: crate::exec::available_threads(),
+            seed: 1,
+            accesses: kind.default_accesses(),
+            designs: kind.default_designs(),
+            trace: None,
+            telemetry: None,
+        }
+    }
+
+    /// Sets the mix count.
+    pub fn mixes(mut self, mixes: usize) -> ExperimentSpec {
+        self.mixes = mixes.max(1);
+        self
+    }
+
+    /// Sets the worker-thread count.
+    pub fn threads(mut self, threads: usize) -> ExperimentSpec {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the base RNG seed.
+    pub fn seed(mut self, seed: u64) -> ExperimentSpec {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the detailed-sim accesses per app.
+    pub fn accesses(mut self, accesses: usize) -> ExperimentSpec {
+        self.accesses = accesses.max(1);
+        self
+    }
+
+    /// Sets the design list.
+    pub fn designs(mut self, designs: &[DesignKind]) -> ExperimentSpec {
+        self.designs = designs.to_vec();
+        self
+    }
+
+    /// Writes telemetry as JSONL to `path`.
+    pub fn trace(mut self, path: impl Into<PathBuf>) -> ExperimentSpec {
+        self.trace = Some(path.into());
+        self
+    }
+
+    /// Installs an explicit telemetry sink (beats [`Self::trace`]).
+    pub fn telemetry(mut self, sink: Arc<dyn Telemetry>) -> ExperimentSpec {
+        self.telemetry = Some(sink);
+        self
+    }
+
+    /// Parses an argv-style slice (program name first or not — only
+    /// `--flag value` pairs are inspected).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage [`Error::Flag`] for a recognized flag with a
+    /// missing or unparseable value. Unrecognized arguments are ignored,
+    /// as the original binaries did.
+    pub fn from_args(kind: FigureKind, args: &[String]) -> Result<ExperimentSpec, Error> {
+        let mut spec = ExperimentSpec::new(kind);
+        if let Some(v) = parse_flag(args, "--mixes")? {
+            spec.mixes = v;
+        }
+        if let Some(v) = parse_flag(args, "--threads")? {
+            spec.threads = v;
+        }
+        if let Some(v) = parse_flag(args, "--seed")? {
+            spec.seed = v;
+        }
+        if let Some(v) = parse_flag(args, "--accesses")? {
+            spec.accesses = v;
+        }
+        if let Some(p) = flag_text(args, "--trace")? {
+            spec.trace = Some(PathBuf::from(p));
+        }
+        spec.mixes = spec.mixes.max(1);
+        spec.threads = spec.threads.max(1);
+        spec.accesses = spec.accesses.max(1);
+        Ok(spec)
+    }
+
+    /// [`Self::from_args`] on the process's own argv, with the
+    /// environment filled in underneath: CLI beats `JUMANJI_MIXES` /
+    /// `JUMANJI_THREADS` / `JUMANJI_TRACE` beats the figure's default.
+    ///
+    /// # Errors
+    ///
+    /// Usage errors from CLI flags only — environment values that fail
+    /// to parse fall through to the default.
+    pub fn from_args_env(kind: FigureKind) -> Result<ExperimentSpec, Error> {
+        let args: Vec<String> = std::env::args().collect();
+        let mut spec = ExperimentSpec::new(kind);
+        // Environment first (lenient), so CLI overwrites it.
+        if let Some(v) = env_count("JUMANJI_MIXES") {
+            spec.mixes = v.max(1);
+        }
+        if let Some(v) = env_count("JUMANJI_THREADS") {
+            spec.threads = v.max(1);
+        }
+        if let Some(p) = std::env::var_os("JUMANJI_TRACE") {
+            if !p.is_empty() {
+                spec.trace = Some(PathBuf::from(p));
+            }
+        }
+        if let Some(v) = parse_flag::<usize>(&args, "--mixes")? {
+            spec.mixes = v.max(1);
+        }
+        if let Some(v) = parse_flag::<usize>(&args, "--threads")? {
+            spec.threads = v.max(1);
+        }
+        if let Some(v) = parse_flag::<u64>(&args, "--seed")? {
+            spec.seed = v;
+        }
+        if let Some(v) = parse_flag::<usize>(&args, "--accesses")? {
+            spec.accesses = v.max(1);
+        }
+        if let Some(p) = flag_text(&args, "--trace")? {
+            spec.trace = Some(PathBuf::from(p));
+        }
+        Ok(spec)
+    }
+}
+
+/// The value after `flag`, as text. Present-with-no-value is a usage
+/// error; another `--flag` in value position is treated as missing.
+fn flag_text(args: &[String], flag: &str) -> Result<Option<String>, Error> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    match args.get(pos + 1) {
+        Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
+        _ => Err(Error::flag(flag, "expected a value")),
+    }
+}
+
+/// The value after `flag`, parsed. Unparseable is a usage error.
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, Error> {
+    match flag_text(args, flag)? {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| Error::flag(flag, format!("invalid value `{v}`"))),
+    }
+}
+
+/// A `VAR=n` environment count; unset or unparseable yields `None`.
+fn env_count(var: &str) -> Option<usize> {
+    std::env::var(var).ok()?.parse().ok()
+}
+
+/// Renders the spec's figure to stdout (locked for the duration).
+///
+/// # Errors
+///
+/// Propagates figure errors ([`run_spec_to`]).
+pub fn run_spec(spec: &ExperimentSpec) -> Result<(), Error> {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    run_spec_to(spec, &mut out)
+}
+
+/// Renders the spec's figure to any writer, resolving the telemetry sink
+/// (explicit sink, then `trace` path as a [`JsonlSink`], then the no-op
+/// sink) and flushing both on the way out.
+///
+/// # Errors
+///
+/// Returns usage errors for bad spec inputs (unknown workload names),
+/// and runtime errors for I/O failures on `out` or the trace file.
+pub fn run_spec_to(spec: &ExperimentSpec, out: &mut dyn Write) -> Result<(), Error> {
+    let jsonl;
+    let tel: &dyn Telemetry = match (&spec.telemetry, &spec.trace) {
+        (Some(sink), _) => sink.as_ref(),
+        (None, Some(path)) => {
+            jsonl = JsonlSink::create(path)?;
+            &jsonl
+        }
+        (None, None) => &NoopSink,
+    };
+    figures::emit(spec, tel, out)?;
+    out.flush()?;
+    Ok(())
+}
+
+/// The whole `main` of a figure binary: parse argv/env, run, map errors
+/// to exit codes (usage → 2, runtime → 1).
+pub fn figure_main(kind: FigureKind) -> ExitCode {
+    let spec = match ExperimentSpec::from_args_env(kind) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("{}: {e}", kind.name());
+            return ExitCode::from(2);
+        }
+    };
+    match run_spec(&spec) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{}: {e}", kind.name());
+            ExitCode::from(if e.is_usage() { 2 } else { 1 })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_follow_the_figure() {
+        let spec = ExperimentSpec::new(FigureKind::Fig13);
+        assert_eq!(spec.mixes, crate::PAPER_MIXES);
+        assert_eq!(spec.seed, 1);
+        assert_eq!(spec.designs, DesignKind::main_four().to_vec());
+        assert!(spec.trace.is_none());
+        assert_eq!(ExperimentSpec::new(FigureKind::Fig09).mixes, 5);
+        assert_eq!(ExperimentSpec::new(FigureKind::Fig02).accesses, 40_000);
+        assert_eq!(ExperimentSpec::new(FigureKind::Validate).accesses, 200_000);
+        assert!(ExperimentSpec::new(FigureKind::Table2).designs.is_empty());
+    }
+
+    #[test]
+    fn builder_methods_override_and_clamp() {
+        let spec = ExperimentSpec::new(FigureKind::Fig14)
+            .mixes(0)
+            .threads(0)
+            .seed(9)
+            .accesses(0)
+            .designs(&[DesignKind::Jumanji])
+            .trace("/tmp/t.jsonl");
+        assert_eq!(spec.mixes, 1);
+        assert_eq!(spec.threads, 1);
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.accesses, 1);
+        assert_eq!(spec.designs, vec![DesignKind::Jumanji]);
+        assert_eq!(
+            spec.trace.as_deref(),
+            Some(std::path::Path::new("/tmp/t.jsonl"))
+        );
+    }
+
+    #[test]
+    fn cli_flags_parse_strictly() {
+        let args = argv(&["fig13", "--mixes", "7", "--threads", "3", "--seed", "42"]);
+        let spec = ExperimentSpec::from_args(FigureKind::Fig13, &args).expect("valid argv");
+        assert_eq!((spec.mixes, spec.threads, spec.seed), (7, 3, 42));
+
+        let err = ExperimentSpec::from_args(FigureKind::Fig13, &argv(&["fig13", "--mixes", "x"]))
+            .expect_err("unparseable value");
+        assert!(err.is_usage());
+        assert!(err.to_string().contains("--mixes"));
+
+        let err = ExperimentSpec::from_args(FigureKind::Fig13, &argv(&["fig13", "--mixes"]))
+            .expect_err("missing value");
+        assert!(err.is_usage());
+
+        // A flag in value position counts as missing, not as a value.
+        let err =
+            ExperimentSpec::from_args(FigureKind::Fig13, &argv(&["fig13", "--trace", "--verbose"]))
+                .expect_err("flag as value");
+        assert!(err.to_string().contains("--trace"));
+    }
+
+    #[test]
+    fn unrecognized_arguments_are_ignored() {
+        let spec =
+            ExperimentSpec::from_args(FigureKind::Fig14, &argv(&["fig14", "--unknown", "5"]))
+                .expect("unknown flags ignored");
+        assert_eq!(spec.mixes, 8);
+    }
+
+    #[test]
+    fn kind_names_are_unique_and_match_binaries() {
+        let mut names: Vec<&str> = FigureKind::all().iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 18);
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 18, "duplicate binary name");
+    }
+}

@@ -44,11 +44,13 @@
 //! | [`core`] | **the paper's algorithms**: controller, LatCritPlacer, Lookahead, Jigsaw, JumanjiPlacer, designs |
 //! | [`sim`] | epoch simulator, queueing, metrics, energy |
 //! | [`attacks`] | port attack, conflict attack, set-dueling leakage |
+//! | [`telemetry`] | zero-cost-when-disabled tracing sinks and JSONL events |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use jumanji_core as core;
+pub use jumanji_telemetry as telemetry;
 pub use nuca_attacks as attacks;
 pub use nuca_cache as cache;
 pub use nuca_mem as mem;
@@ -65,6 +67,7 @@ pub mod prelude {
         Allocation, AppKind, AppModel, ControllerParams, DesignKind, FeedbackController,
         PlacementInput,
     };
+    pub use jumanji_telemetry::{Event, JsonlSink, NoopSink, RecordingSink, Telemetry};
     pub use nuca_sim::{Experiment, ExperimentResult, SimOptions};
     pub use nuca_types::{AppId, BankId, CoreId, Seconds, SystemConfig, VmId};
     pub use nuca_workloads::{

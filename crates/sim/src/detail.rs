@@ -20,6 +20,7 @@
 
 use crate::perf::Profile;
 use jumanji_core::Allocation;
+use jumanji_telemetry::{Event, NoopSink, Telemetry};
 use nuca_cache::{BankConfig, CacheBank, PartitionId, ReplPolicy, WayMask};
 use nuca_mem::MemSystem;
 use nuca_noc::{BankPorts, MeshNoc};
@@ -186,6 +187,21 @@ pub fn run_detailed(
     vms: &[VmId],
     alloc: &Allocation,
 ) -> DetailReport {
+    run_detailed_traced(opts, profiles, cores, vms, alloc, &NoopSink)
+}
+
+/// [`run_detailed`] with telemetry: per-bank contention counters
+/// ([`Event::DetailBank`]) are accumulated during the run and emitted at
+/// the end, one event per bank. Tracing never perturbs the simulation — a
+/// traced run returns a bit-identical [`DetailReport`].
+pub fn run_detailed_traced<T: Telemetry + ?Sized>(
+    opts: &DetailOptions,
+    profiles: &[Profile],
+    cores: &[CoreId],
+    vms: &[VmId],
+    alloc: &Allocation,
+    tel: &T,
+) -> DetailReport {
     // Streams realize each profile's miss-curve shape.
     let mut gens: Vec<StreamGenerator> = profiles
         .iter()
@@ -198,7 +214,7 @@ pub fn run_detailed(
             StreamGenerator::from_shape(shape, opts.cfg.llc.line_bytes, i, opts.seed)
         })
         .collect();
-    run_with(opts, profiles.len(), cores, vms, alloc, |a, _| {
+    run_with(opts, profiles.len(), cores, vms, alloc, tel, |a, _| {
         gens[a].next_line()
     })
 }
@@ -221,20 +237,31 @@ pub fn run_traces(
         traces.iter().all(|t| !t.is_empty()),
         "every trace needs at least one access"
     );
-    run_with(opts, traces.len(), cores, vms, alloc, |a, k| {
+    run_with(opts, traces.len(), cores, vms, alloc, &NoopSink, |a, k| {
         traces[a][k % traces[a].len()]
     })
 }
 
+/// Per-bank contention counters accumulated during a traced run.
+#[derive(Debug, Default, Clone, Copy)]
+struct BankTrace {
+    accesses: u64,
+    misses: u64,
+    port_conflicts: u64,
+    port_wait_cycles: u64,
+}
+
 /// Shared engine: `next(app, access_index)` supplies the address stream.
-fn run_with(
+fn run_with<T: Telemetry + ?Sized>(
     opts: &DetailOptions,
     n: usize,
     cores: &[CoreId],
     vms: &[VmId],
     alloc: &Allocation,
+    tel: &T,
     mut next: impl FnMut(usize, usize) -> nuca_cache::LineAddr,
 ) -> DetailReport {
+    let tracing = tel.enabled();
     let cfg = &opts.cfg;
     assert_eq!(n, cores.len(), "one core per app");
     assert_eq!(n, vms.len(), "one VM per app");
@@ -334,6 +361,9 @@ fn run_with(
     // the loop drops two int→float conversions and float adds per access.
     let mut lat_acc = vec![0u64; n];
     let mut hop_acc = vec![0u64; n];
+    // Tracing-only per-bank counters; the hot loop touches them behind
+    // `tracing`, which constant-folds away under `NoopSink`.
+    let mut bank_trace = vec![BankTrace::default(); if tracing { nbanks } else { 0 }];
 
     for k in 0..opts.accesses_per_app {
         for a in 0..n {
@@ -367,6 +397,13 @@ fn run_with(
                     stats[a].writebacks += 1;
                 }
             }
+            if tracing {
+                let t = &mut bank_trace[bi];
+                t.accesses += 1;
+                t.misses += u64::from(!outcome.hit);
+                t.port_conflicts += u64::from(wait > 0);
+                t.port_wait_cycles += wait;
+            }
             let s = &mut stats[a];
             s.accesses += 1;
             s.misses += u64::from(!outcome.hit);
@@ -380,6 +417,17 @@ fn run_with(
     for (s, (&lat, &hop)) in stats.iter_mut().zip(lat_acc.iter().zip(&hop_acc)) {
         s.total_latency = lat as f64;
         s.total_hops = hop as f64;
+    }
+    if tracing {
+        for (b, t) in bank_trace.iter().enumerate() {
+            tel.emit(&Event::DetailBank {
+                bank: b,
+                accesses: t.accesses,
+                misses: t.misses,
+                port_conflicts: t.port_conflicts,
+                port_wait_cycles: t.port_wait_cycles,
+            });
+        }
     }
 
     let bank_occupants = (0..cfg.llc.num_banks)

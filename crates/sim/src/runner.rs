@@ -9,6 +9,7 @@ use crate::queueing::{Completion, LcQueue};
 use jumanji_core::{
     Allocation, AppModel, ControllerParams, DesignKind, FeedbackController, PlacementInput,
 };
+use jumanji_telemetry::{Event, NoopSink, Telemetry};
 use nuca_cache::MissCurve;
 use nuca_noc::MeshNoc;
 use nuca_types::{AppId, CoreId, Seconds, SystemConfig, VmId};
@@ -284,6 +285,26 @@ impl Experiment {
 
     /// Runs the experiment under `design`.
     pub fn run(&self, design: DesignKind) -> ExperimentResult {
+        // Monomorphized over `NoopSink`: `enabled()` constant-folds to
+        // `false` and every telemetry branch is dead code, so this compiles
+        // to exactly the untraced hot loop.
+        self.run_traced(design, &NoopSink)
+    }
+
+    /// Runs the experiment under `design`, emitting telemetry into `tel`.
+    ///
+    /// Emission never feeds back into the simulation: a traced run
+    /// produces a bit-identical [`ExperimentResult`] to [`Experiment::run`].
+    /// Per interval the sink sees one [`Event::Controller`] per LC app and
+    /// one [`Event::Allocation`] for the design's placement decision
+    /// (including whether the interval hit the allocator memo); the run
+    /// closes with an [`Event::RunSummary`].
+    pub fn run_traced<T: Telemetry + ?Sized>(
+        &self,
+        design: DesignKind,
+        tel: &T,
+    ) -> ExperimentResult {
+        let tracing = tel.enabled();
         let cfg = &self.opts.cfg;
         let freq = cfg.freq_hz;
         let noc = MeshNoc::new(cfg);
@@ -445,6 +466,11 @@ impl Experiment {
         // allocation, refreshed only when the allocation changes.
         let mut mem_hops = vec![0.0f64; n];
         let mut completions: Vec<Completion> = Vec::new();
+        // Tracing-only state; untouched (and dead-code-eliminated) when the
+        // sink is disabled.
+        let mut memo_hits = 0u64;
+        let mut memo_misses = 0u64;
+        let mut tail_scratch: Vec<f64> = Vec::new();
 
         for interval in 0..n_intervals {
             // 0. Apply any thread migrations scheduled before this
@@ -568,10 +594,27 @@ impl Experiment {
                 // post-update rates — all covered by the memo key.
                 vul_cached = vulnerability(&input, alloc, &rates);
             }
+            if tracing {
+                if unchanged {
+                    memo_hits += 1;
+                } else {
+                    memo_misses += 1;
+                }
+                tel.emit(&Event::Allocation {
+                    interval: interval as u64,
+                    design: design.name(),
+                    memo_hit: unchanged,
+                    lc_bytes: input.lc_sizes.clone(),
+                    capacity_bytes: perf.iter().map(|p| p.capacity_bytes).collect(),
+                    coherence_lines: coherence_misses.iter().sum(),
+                    vulnerability: vul_cached,
+                });
+            }
             // 4. LC queues and controllers.
             let until = now + dt_cycles;
             let mut interval_means: Vec<Option<f64>> = Vec::new();
             let mut interval_allocs: Vec<f64> = Vec::new();
+            let mut lc_i = 0usize;
             for i in 0..n {
                 if let Some(q) = &mut queues[i] {
                     q.advance_into(until, perf[i].service_cycles, &mut completions);
@@ -589,6 +632,43 @@ impl Experiment {
                         Some(sum / completions.len() as f64 / freq * 1e3)
                     });
                     interval_allocs.push(perf[i].capacity_bytes);
+                    if tracing {
+                        let deadline = self.deadlines[lc_i];
+                        tail_scratch.clear();
+                        let mut violations = 0u64;
+                        for c in &completions {
+                            let lat = c.latency as f64;
+                            tail_scratch.push(lat / freq * 1e3);
+                            if lat > deadline {
+                                violations += 1;
+                            }
+                        }
+                        let tail_ms = if tail_scratch.is_empty() {
+                            None
+                        } else {
+                            Some(percentile_mut(&mut tail_scratch, 0.95))
+                        };
+                        let name = match &profiles[i] {
+                            Profile::Lc(p, _) => p.name,
+                            Profile::Batch(_) => unreachable!("queues exist only for LC apps"),
+                        };
+                        let deadline_ms = deadline / freq * 1e3;
+                        tel.emit(&Event::Controller {
+                            interval: interval as u64,
+                            t_ms: (interval + 1) as f64 * dt * 1e3,
+                            app: i,
+                            name,
+                            alloc_bytes: perf[i].capacity_bytes,
+                            tail_ms,
+                            target_low_ms: params.target_low * deadline_ms,
+                            target_high_ms: params.target_high * deadline_ms,
+                            deadline_ms,
+                            completions: completions.len() as u64,
+                            violations,
+                            panics: ctrl.panics(),
+                        });
+                    }
+                    lc_i += 1;
                 }
             }
             // 5. Batch progress, energy, vulnerability.
@@ -661,6 +741,14 @@ impl Experiment {
                     batch_out.push(batch_work[i]);
                 }
             }
+        }
+        if tracing {
+            tel.emit(&Event::RunSummary {
+                design: design.name(),
+                intervals: n_intervals as u64,
+                memo_hits,
+                memo_misses,
+            });
         }
         ExperimentResult {
             design,
@@ -845,6 +933,81 @@ mod tests {
         // Refetches are bounded by a few LLC's worth per interval.
         let bound = 15.0 * 20.0 * 1048576.0 / 64.0 * r.timeline.len() as f64;
         assert!(r.coherence_refetches < bound);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records_every_interval() {
+        use jumanji_telemetry::RecordingSink;
+        let exp = Experiment::new(case_study_mix(1), LcLoad::High, quick_opts());
+        let plain = exp.run(DesignKind::Jumanji);
+        let sink = RecordingSink::new();
+        let traced = exp.run_traced(DesignKind::Jumanji, &sink);
+
+        // Tracing must not perturb the simulation.
+        assert_eq!(plain.lc_tail_latency_ms, traced.lc_tail_latency_ms);
+        assert_eq!(plain.batch_work, traced.batch_work);
+        assert_eq!(plain.vulnerability, traced.vulnerability);
+
+        let events = sink.events();
+        let intervals = traced.timeline.len();
+        let lc_apps = traced.lc_names.len();
+
+        // One Controller event per LC app per interval, consistent with
+        // the timeline's per-interval allocations.
+        let ctrl: Vec<&Event> = events
+            .iter()
+            .filter(|e| matches!(e, Event::Controller { .. }))
+            .collect();
+        assert_eq!(ctrl.len(), intervals * lc_apps);
+        for e in &ctrl {
+            if let Event::Controller {
+                interval,
+                alloc_bytes,
+                deadline_ms,
+                target_low_ms,
+                target_high_ms,
+                completions,
+                violations,
+                ..
+            } = e
+            {
+                let rec = &traced.timeline[*interval as usize];
+                assert!(
+                    rec.lc_alloc_bytes.contains(alloc_bytes),
+                    "controller alloc {alloc_bytes} not in timeline {:?}",
+                    rec.lc_alloc_bytes
+                );
+                assert!(target_low_ms < target_high_ms);
+                assert!(target_high_ms < deadline_ms);
+                assert!(violations <= completions);
+            }
+        }
+
+        // One Allocation event per interval; memo counters consistent.
+        let allocs: Vec<&Event> = events
+            .iter()
+            .filter(|e| matches!(e, Event::Allocation { .. }))
+            .collect();
+        assert_eq!(allocs.len(), intervals);
+        let hits = allocs
+            .iter()
+            .filter(|e| matches!(e, Event::Allocation { memo_hit: true, .. }))
+            .count();
+        let summary = events.last().expect("run emits events");
+        match summary {
+            Event::RunSummary {
+                design,
+                intervals: iv,
+                memo_hits,
+                memo_misses,
+            } => {
+                assert_eq!(*design, "Jumanji");
+                assert_eq!(*iv as usize, intervals);
+                assert_eq!(*memo_hits as usize, hits);
+                assert_eq!((*memo_hits + *memo_misses) as usize, intervals);
+            }
+            other => panic!("last event should be the run summary, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,378 @@
+//! Typed telemetry events and their JSONL encoding.
+//!
+//! Every event renders to exactly one line of JSON (no trailing newline)
+//! via [`Event::to_json`]. The encoding is hand-rolled — the workspace
+//! builds offline with no serialization crates — and deliberately small:
+//! string values are escaped per RFC 8259, floats use Rust's
+//! shortest-roundtrip formatting, and non-finite floats become `null`.
+
+use std::fmt::Write as _;
+
+/// One telemetry event.
+///
+/// Field units are baked into the names (`_ms`, `_bytes`, `_us`,
+/// `_cycles`); counters are totals for the scope the event describes (one
+/// interval, one bank, one job).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Per-interval feedback-controller state for one latency-critical
+    /// app: the allocation the controller asked for, the tail it measured
+    /// against its target band, and how many completions violated the
+    /// deadline this interval.
+    Controller {
+        /// Reconfiguration interval index (0-based).
+        interval: u64,
+        /// Interval end time in simulated milliseconds.
+        t_ms: f64,
+        /// App id (index into the experiment's app vector).
+        app: usize,
+        /// LC app name.
+        name: &'static str,
+        /// LLC bytes the controller's allocation resolved to.
+        alloc_bytes: f64,
+        /// p95 latency of this interval's completions, in ms
+        /// (`None` when no request completed).
+        tail_ms: Option<f64>,
+        /// Lower edge of the controller's target band, in ms.
+        target_low_ms: f64,
+        /// Upper edge of the controller's target band, in ms.
+        target_high_ms: f64,
+        /// The app's deadline, in ms.
+        deadline_ms: f64,
+        /// Requests completed this interval.
+        completions: u64,
+        /// Completions whose latency exceeded the deadline.
+        violations: u64,
+        /// Cumulative panic boosts the controller has fired so far.
+        panics: u64,
+    },
+    /// Per-interval placement/allocation decision of the design under
+    /// test, including whether the interval was served from the
+    /// fixed-point memo instead of re-running the allocator.
+    Allocation {
+        /// Reconfiguration interval index (0-based).
+        interval: u64,
+        /// Design that produced the allocation.
+        design: &'static str,
+        /// True when the interval reused the previous allocation
+        /// verbatim (memoized fixed point).
+        memo_hit: bool,
+        /// Controller-assigned LC sizes, in app order (0 for batch).
+        lc_bytes: Vec<f64>,
+        /// Effective capacity per app after evaluation, in app order.
+        capacity_bytes: Vec<f64>,
+        /// Lines refetched because this reconfiguration moved them.
+        coherence_lines: f64,
+        /// Access-weighted vulnerability of the installed allocation.
+        vulnerability: f64,
+    },
+    /// End-of-run aggregates of one `Experiment::run`.
+    RunSummary {
+        /// Design that ran.
+        design: &'static str,
+        /// Number of reconfiguration intervals simulated.
+        intervals: u64,
+        /// Intervals served from the allocator memo.
+        memo_hits: u64,
+        /// Intervals that re-ran allocate → evaluate.
+        memo_misses: u64,
+    },
+    /// One job's timing span on the experiment engine's worker pool.
+    WorkerSpan {
+        /// Worker index within the pool.
+        worker: usize,
+        /// Job index (the `parallel_map` element).
+        job: usize,
+        /// Job start, µs since the fan-out began.
+        start_us: u64,
+        /// Job duration in µs.
+        dur_us: u64,
+    },
+    /// Per-bank contention counters from one detailed-simulator run.
+    DetailBank {
+        /// Bank index.
+        bank: usize,
+        /// Accesses routed to this bank.
+        accesses: u64,
+        /// Misses in this bank.
+        misses: u64,
+        /// Accesses that found every port busy and had to wait.
+        port_conflicts: u64,
+        /// Total cycles spent waiting on this bank's ports.
+        port_wait_cycles: u64,
+    },
+}
+
+impl Event {
+    /// The event's `"event"` discriminator in the JSONL schema.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Controller { .. } => "controller",
+            Event::Allocation { .. } => "allocation",
+            Event::RunSummary { .. } => "run_summary",
+            Event::WorkerSpan { .. } => "worker_span",
+            Event::DetailBank { .. } => "detail_bank",
+        }
+    }
+
+    /// Renders the event as one line of JSON (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(160);
+        s.push_str("{\"event\":\"");
+        s.push_str(self.kind());
+        s.push('"');
+        match self {
+            Event::Controller {
+                interval,
+                t_ms,
+                app,
+                name,
+                alloc_bytes,
+                tail_ms,
+                target_low_ms,
+                target_high_ms,
+                deadline_ms,
+                completions,
+                violations,
+                panics,
+            } => {
+                uint(&mut s, "interval", *interval);
+                num(&mut s, "t_ms", *t_ms);
+                uint(&mut s, "app", *app as u64);
+                string(&mut s, "name", name);
+                num(&mut s, "alloc_bytes", *alloc_bytes);
+                match tail_ms {
+                    Some(t) => num(&mut s, "tail_ms", *t),
+                    None => null(&mut s, "tail_ms"),
+                }
+                num(&mut s, "target_low_ms", *target_low_ms);
+                num(&mut s, "target_high_ms", *target_high_ms);
+                num(&mut s, "deadline_ms", *deadline_ms);
+                uint(&mut s, "completions", *completions);
+                uint(&mut s, "violations", *violations);
+                uint(&mut s, "panics", *panics);
+            }
+            Event::Allocation {
+                interval,
+                design,
+                memo_hit,
+                lc_bytes,
+                capacity_bytes,
+                coherence_lines,
+                vulnerability,
+            } => {
+                uint(&mut s, "interval", *interval);
+                string(&mut s, "design", design);
+                boolean(&mut s, "memo_hit", *memo_hit);
+                array(&mut s, "lc_bytes", lc_bytes);
+                array(&mut s, "capacity_bytes", capacity_bytes);
+                num(&mut s, "coherence_lines", *coherence_lines);
+                num(&mut s, "vulnerability", *vulnerability);
+            }
+            Event::RunSummary {
+                design,
+                intervals,
+                memo_hits,
+                memo_misses,
+            } => {
+                string(&mut s, "design", design);
+                uint(&mut s, "intervals", *intervals);
+                uint(&mut s, "memo_hits", *memo_hits);
+                uint(&mut s, "memo_misses", *memo_misses);
+            }
+            Event::WorkerSpan {
+                worker,
+                job,
+                start_us,
+                dur_us,
+            } => {
+                uint(&mut s, "worker", *worker as u64);
+                uint(&mut s, "job", *job as u64);
+                uint(&mut s, "start_us", *start_us);
+                uint(&mut s, "dur_us", *dur_us);
+            }
+            Event::DetailBank {
+                bank,
+                accesses,
+                misses,
+                port_conflicts,
+                port_wait_cycles,
+            } => {
+                uint(&mut s, "bank", *bank as u64);
+                uint(&mut s, "accesses", *accesses);
+                uint(&mut s, "misses", *misses);
+                uint(&mut s, "port_conflicts", *port_conflicts);
+                uint(&mut s, "port_wait_cycles", *port_wait_cycles);
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn key(s: &mut String, k: &str) {
+    s.push(',');
+    s.push('"');
+    s.push_str(k);
+    s.push_str("\":");
+}
+
+fn uint(s: &mut String, k: &str, v: u64) {
+    key(s, k);
+    write!(s, "{v}").expect("write to string");
+}
+
+fn boolean(s: &mut String, k: &str, v: bool) {
+    key(s, k);
+    s.push_str(if v { "true" } else { "false" });
+}
+
+fn null(s: &mut String, k: &str) {
+    key(s, k);
+    s.push_str("null");
+}
+
+/// JSON has no NaN/Infinity; encode non-finite floats as `null`.
+fn num(s: &mut String, k: &str, v: f64) {
+    key(s, k);
+    push_f64(s, v);
+}
+
+fn array(s: &mut String, k: &str, vs: &[f64]) {
+    key(s, k);
+    s.push('[');
+    for (i, v) in vs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        push_f64(s, *v);
+    }
+    s.push(']');
+}
+
+fn push_f64(s: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` is shortest-roundtrip: parses back to the same bits.
+        write!(s, "{v:?}").expect("write to string");
+    } else {
+        s.push_str("null");
+    }
+}
+
+fn string(s: &mut String, k: &str, v: &str) {
+    key(s, k);
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(s, "\\u{:04x}", c as u32).expect("write to string");
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controller_event_renders_flat_json() {
+        let e = Event::Controller {
+            interval: 3,
+            t_ms: 400.0,
+            app: 0,
+            name: "xapian",
+            alloc_bytes: 2.5 * 1048576.0,
+            tail_ms: Some(1.25),
+            target_low_ms: 1.0,
+            target_high_ms: 1.2,
+            deadline_ms: 1.3,
+            completions: 17,
+            violations: 2,
+            panics: 1,
+        };
+        let j = e.to_json();
+        assert!(j.starts_with("{\"event\":\"controller\""), "{j}");
+        assert!(j.ends_with('}'), "{j}");
+        assert!(j.contains("\"name\":\"xapian\""), "{j}");
+        assert!(j.contains("\"tail_ms\":1.25"), "{j}");
+        assert!(j.contains("\"violations\":2"), "{j}");
+        // Exactly one object, no nested braces beyond the outer pair.
+        assert_eq!(j.matches('{').count(), 1);
+        assert_eq!(j.matches('}').count(), 1);
+    }
+
+    #[test]
+    fn missing_tail_and_nonfinite_floats_become_null() {
+        let e = Event::Controller {
+            interval: 0,
+            t_ms: f64::NAN,
+            app: 1,
+            name: "silo",
+            alloc_bytes: f64::INFINITY,
+            tail_ms: None,
+            target_low_ms: 0.0,
+            target_high_ms: 0.0,
+            deadline_ms: 1.0,
+            completions: 0,
+            violations: 0,
+            panics: 0,
+        };
+        let j = e.to_json();
+        assert!(j.contains("\"tail_ms\":null"), "{j}");
+        assert!(j.contains("\"t_ms\":null"), "{j}");
+        assert!(j.contains("\"alloc_bytes\":null"), "{j}");
+    }
+
+    #[test]
+    fn allocation_event_renders_arrays() {
+        let e = Event::Allocation {
+            interval: 7,
+            design: "Jumanji",
+            memo_hit: true,
+            lc_bytes: vec![1.0, 0.0, 2.5],
+            capacity_bytes: vec![],
+            coherence_lines: 0.0,
+            vulnerability: 0.0,
+        };
+        let j = e.to_json();
+        assert!(j.contains("\"memo_hit\":true"), "{j}");
+        assert!(j.contains("\"lc_bytes\":[1.0,0.0,2.5]"), "{j}");
+        assert!(j.contains("\"capacity_bytes\":[]"), "{j}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut s = String::new();
+        string(&mut s, "k", "a\"b\\c\nd\u{1}");
+        assert_eq!(s, ",\"k\":\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn kinds_are_distinct_and_stable() {
+        let span = Event::WorkerSpan {
+            worker: 0,
+            job: 0,
+            start_us: 0,
+            dur_us: 0,
+        };
+        let bank = Event::DetailBank {
+            bank: 0,
+            accesses: 0,
+            misses: 0,
+            port_conflicts: 0,
+            port_wait_cycles: 0,
+        };
+        assert_eq!(span.kind(), "worker_span");
+        assert_eq!(bank.kind(), "detail_bank");
+        assert!(span.to_json().contains("\"event\":\"worker_span\""));
+        assert!(bank.to_json().contains("\"event\":\"detail_bank\""));
+    }
+}

@@ -1,6 +1,107 @@
-//! Error types for configuration validation.
+//! Error types for configuration validation and the experiment harness.
 
 use core::fmt;
+
+/// The workspace-wide error type for fallible harness operations:
+/// experiment-spec parsing, figure emission, and statistics over samples.
+///
+/// Binaries map these to exit codes — flag/usage errors exit 2, runtime
+/// errors exit 1 — instead of panicking.
+///
+/// # Examples
+///
+/// ```
+/// use nuca_types::Error;
+/// let e = Error::flag("--mixes", "expected a positive integer, got 'x'");
+/// assert!(e.to_string().contains("--mixes"));
+/// assert!(e.is_usage());
+/// ```
+#[derive(Debug)]
+pub enum Error {
+    /// An invalid system configuration.
+    Config(ConfigError),
+    /// A statistic was requested over an empty sample.
+    EmptySample {
+        /// What was being summarized (e.g., `"norm_tails"`).
+        what: String,
+    },
+    /// A malformed or incomplete command-line flag / environment knob.
+    Flag {
+        /// The flag or variable at fault (e.g., `"--mixes"`).
+        flag: String,
+        /// Why it was rejected.
+        message: String,
+    },
+    /// A workload name that matches nothing in the rosters.
+    UnknownWorkload {
+        /// The offending name.
+        name: String,
+    },
+    /// An I/O failure (trace files, figure output).
+    Io(std::io::Error),
+}
+
+impl Error {
+    /// Convenience constructor for an empty-sample error.
+    pub fn empty_sample(what: impl Into<String>) -> Error {
+        Error::EmptySample { what: what.into() }
+    }
+
+    /// Convenience constructor for a flag error.
+    pub fn flag(flag: impl Into<String>, message: impl Into<String>) -> Error {
+        Error::Flag {
+            flag: flag.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for an unknown-workload error.
+    pub fn unknown_workload(name: impl Into<String>) -> Error {
+        Error::UnknownWorkload { name: name.into() }
+    }
+
+    /// True for errors the user caused on the command line — binaries
+    /// print usage and exit 2 for these, 1 for everything else.
+    pub fn is_usage(&self) -> bool {
+        matches!(self, Error::Flag { .. } | Error::UnknownWorkload { .. })
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(e) => write!(f, "{e}"),
+            Error::EmptySample { what } => {
+                write!(f, "cannot summarize an empty sample of {what}")
+            }
+            Error::Flag { flag, message } => write!(f, "invalid {flag}: {message}"),
+            Error::UnknownWorkload { name } => write!(f, "unknown workload '{name}'"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Config(e) => Some(e),
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Error {
+        Error::Config(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Error {
+        Error::Io(e)
+    }
+}
 
 /// An invalid system configuration.
 ///
@@ -49,5 +150,28 @@ mod tests {
     fn is_std_error_send_sync() {
         fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
         assert_err::<ConfigError>();
+        assert_err::<Error>();
+    }
+
+    #[test]
+    fn harness_error_displays_and_classifies() {
+        assert!(Error::flag("--mixes", "bad").is_usage());
+        assert!(Error::unknown_workload("nope").is_usage());
+        assert!(!Error::empty_sample("speedups").is_usage());
+        assert!(!Error::from(ConfigError::new("x")).is_usage());
+        let io = Error::from(std::io::Error::other("disk"));
+        assert!(!io.is_usage());
+        assert_eq!(
+            Error::empty_sample("speedups").to_string(),
+            "cannot summarize an empty sample of speedups"
+        );
+        assert_eq!(
+            Error::flag("--mixes", "expected integer").to_string(),
+            "invalid --mixes: expected integer"
+        );
+        assert_eq!(
+            Error::unknown_workload("nope").to_string(),
+            "unknown workload 'nope'"
+        );
     }
 }

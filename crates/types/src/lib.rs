@@ -29,14 +29,14 @@
 #![warn(missing_docs)]
 
 mod config;
-mod error;
+pub mod error;
 pub mod hash;
 mod ids;
 pub mod time;
 pub mod topology;
 
 pub use config::{CacheLevelConfig, EnergyConfig, LlcConfig, MemConfig, NocConfig, SystemConfig};
-pub use error::ConfigError;
+pub use error::{ConfigError, Error};
 pub use ids::{AppId, BankId, CoreId, PageId, VmId, WayCount};
 pub use time::{Cycles, Seconds};
 pub use topology::{Mesh, TileCoord};

@@ -17,6 +17,9 @@ cargo fmt --all -- --check
 echo "== cargo clippy (all targets, warnings are errors)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "== cargo clippy (telemetry + bench crates, explicit gate)"
+cargo clippy --offline -p jumanji-telemetry -p jumanji-bench --all-targets -- -D warnings
+
 echo "== cargo build --release"
 cargo build --offline --release
 
@@ -48,5 +51,24 @@ cmp "$tmp/v1.tsv" "$tmp/v4.tsv"
 ./target/release/fig02 --threads 1 >"$tmp/f1.tsv"
 ./target/release/fig02 --threads 4 >"$tmp/f4.tsv"
 cmp "$tmp/f1.tsv" "$tmp/f4.tsv"
+
+echo "== every figure binary runs at --mixes 1 (spec-wrapper smoke test)"
+for fig in fig02 fig04 fig05 fig08 fig09 fig11 fig12 fig13 fig14 fig15 \
+           fig16 fig17 fig18 table2 table3 ablation sensitivity validate; do
+    printf '   %s\n' "$fig"
+    ./target/release/"$fig" --mixes 1 --accesses 2000 >"$tmp/smoke_$fig.tsv"
+    head -c 1 "$tmp/smoke_$fig.tsv" | grep -q '#'
+done
+
+echo "== telemetry off is byte-identical to the pinned golden TSVs"
+./target/release/fig13 --mixes 12 >"$tmp/fig13.tsv"
+cmp "$tmp/fig13.tsv" results/fig13.tsv
+./target/release/fig14 --mixes 12 >"$tmp/fig14.tsv"
+cmp "$tmp/fig14.tsv" results/fig14.tsv
+
+echo "== --trace emits controller events as JSONL"
+./target/release/fig05 --trace "$tmp/trace.jsonl" >/dev/null
+grep -q '"event":"controller"' "$tmp/trace.jsonl"
+grep -q '"event":"run_summary"' "$tmp/trace.jsonl"
 
 echo "verify: OK"
