@@ -1,0 +1,232 @@
+//! One-process suite runner: renders any subset of the 18 figures over
+//! the shared [`CellCache`], so identical experiment cells are computed
+//! once and every figure renders from the cached result.
+//!
+//! fig13 and fig14 run the *same* experiment matrix and differ only in
+//! rendering; the sensitivity study's default rows duplicate the
+//! main-results cells; the ablation re-runs case-study seeds. Running
+//! them in one process turns all of that duplicated simulation into
+//! cache hits — with byte-identical TSVs, enforced by the golden tests
+//! and `scripts/verify.sh`.
+//!
+//! Usage:
+//!
+//! ```text
+//! suite [--figures fig13,fig14,…] [--out DIR] [--stats PATH]
+//!       [--mixes N] [--threads N] [--seed N] [--accesses N]
+//!       [--trace PATH] [--no-cache]
+//! ```
+//!
+//! - `--figures` — comma-separated [`FigureKind`] names (default: all 18,
+//!   in figure order).
+//! - `--out DIR` — write each figure to `DIR/<name>.tsv` (created if
+//!   missing) instead of concatenating everything to stdout.
+//! - `--stats PATH` — write a JSON cache-statistics report.
+//! - `--mixes` / `--threads` / `--seed` / `--accesses` — forwarded to
+//!   every figure exactly as the standalone binaries resolve them
+//!   (CLI beats `JUMANJI_*` env beats the per-figure default).
+//! - `--trace PATH` — one shared JSONL sink for the whole suite (also
+//!   honours `JUMANJI_TRACE`); note tracing bypasses cache *reads*.
+//! - `--no-cache` — disable the shared cache: every cell computes fresh.
+//!
+//! Per-figure timing and cache-delta lines go to stderr; exit codes match
+//! the figure binaries (usage → 2, runtime → 1).
+
+use jumanji::telemetry::{Event, JsonlSink, Telemetry};
+use jumanji::types::Error;
+use jumanji_bench::cell_cache::{apply_cache_flags, CellCache, CellCacheStats};
+use jumanji_bench::exec::flag_value;
+use jumanji_bench::{run_spec_to, ExperimentSpec, FigureKind};
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One figure's timing and cache-delta report.
+struct FigureReport {
+    name: &'static str,
+    seconds: f64,
+    computed: u64,
+    reused: u64,
+}
+
+/// The figures to run: `--figures a,b,c` or all 18 in figure order.
+fn parse_figures(args: &[String]) -> Result<Vec<FigureKind>, Error> {
+    let Some(list) = flag_value(args, "--figures") else {
+        return Ok(FigureKind::all().to_vec());
+    };
+    if list.is_empty() {
+        return Err(Error::flag("--figures", "expected a value"));
+    }
+    list.split(',')
+        .map(|name| {
+            let name = name.trim();
+            FigureKind::from_name(name)
+                .ok_or_else(|| Error::flag("--figures", format!("unknown figure `{name}`")))
+        })
+        .collect()
+}
+
+/// The shared trace sink, if tracing: `--trace PATH` beats
+/// `JUMANJI_TRACE`. One sink for the whole suite, so per-figure runs
+/// append instead of truncating each other.
+fn trace_sink(args: &[String]) -> Result<Option<Arc<JsonlSink>>, Error> {
+    let path = match flag_value(args, "--trace") {
+        Some(p) if !p.is_empty() => Some(PathBuf::from(p)),
+        Some(_) => return Err(Error::flag("--trace", "expected a value")),
+        None => match std::env::var_os("JUMANJI_TRACE") {
+            Some(p) if !p.is_empty() => Some(PathBuf::from(p)),
+            _ => None,
+        },
+    };
+    Ok(match path {
+        Some(p) => Some(Arc::new(JsonlSink::create(&p)?)),
+        None => None,
+    })
+}
+
+fn cells_of(stats: &CellCacheStats) -> (u64, u64) {
+    (stats.runs.misses, stats.runs.hits)
+}
+
+fn write_stats(
+    path: &PathBuf,
+    reports: &[FigureReport],
+    total_seconds: f64,
+    stats: &CellCacheStats,
+) -> std::io::Result<()> {
+    let mut f = BufWriter::new(std::fs::File::create(path)?);
+    let (computed, reused) = cells_of(stats);
+    let lookups = computed + reused;
+    let reuse_rate = if lookups == 0 {
+        0.0
+    } else {
+        reused as f64 / lookups as f64
+    };
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"figures\": [")?;
+    for (i, r) in reports.iter().enumerate() {
+        writeln!(
+            f,
+            "    {{\"name\": \"{}\", \"seconds\": {:.3}, \"computed\": {}, \"reused\": {}}}{}",
+            r.name,
+            r.seconds,
+            r.computed,
+            r.reused,
+            if i + 1 < reports.len() { "," } else { "" }
+        )?;
+    }
+    writeln!(f, "  ],")?;
+    writeln!(f, "  \"total_seconds\": {total_seconds:.3},")?;
+    writeln!(f, "  \"cells_computed\": {computed},")?;
+    writeln!(f, "  \"cells_reused\": {reused},")?;
+    writeln!(f, "  \"cell_reuse_rate\": {reuse_rate:.4},")?;
+    writeln!(
+        f,
+        "  \"experiments\": {{\"hits\": {}, \"misses\": {}}},",
+        stats.experiments.hits, stats.experiments.misses
+    )?;
+    writeln!(
+        f,
+        "  \"hulls\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}}}",
+        stats.hulls.hits, stats.hulls.misses, stats.hulls.entries
+    )?;
+    writeln!(f, "}}")?;
+    f.flush()
+}
+
+fn run(args: &[String]) -> Result<(), Error> {
+    apply_cache_flags(args);
+    let figures = parse_figures(args)?;
+    let out_dir = flag_value(args, "--out").map(PathBuf::from);
+    let stats_path = flag_value(args, "--stats").map(PathBuf::from);
+    let sink = trace_sink(args)?;
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+
+    let cache = CellCache::global();
+    let mut reports = Vec::with_capacity(figures.len());
+    let suite_start = Instant::now();
+    for kind in figures {
+        let mut spec = ExperimentSpec::from_args_env(kind)?;
+        if let Some(sink) = &sink {
+            // One shared sink for the whole suite; the per-figure trace
+            // path (same for every figure) would truncate on each open.
+            spec.trace = None;
+            spec.telemetry = Some(Arc::clone(sink) as Arc<dyn Telemetry>);
+        }
+        let before = cells_of(&cache.stats());
+        let start = Instant::now();
+        if let Some(dir) = &out_dir {
+            let path = dir.join(format!("{}.tsv", kind.name()));
+            let mut out = BufWriter::new(std::fs::File::create(&path)?);
+            run_spec_to(&spec, &mut out)?;
+        } else {
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            run_spec_to(&spec, &mut out)?;
+        }
+        let seconds = start.elapsed().as_secs_f64();
+        let after = cells_of(&cache.stats());
+        let report = FigureReport {
+            name: kind.name(),
+            seconds,
+            computed: after.0 - before.0,
+            reused: after.1 - before.1,
+        };
+        eprintln!(
+            "[suite] {}: {:.2}s ({} cells computed, {} reused)",
+            report.name, report.seconds, report.computed, report.reused
+        );
+        reports.push(report);
+    }
+    let total_seconds = suite_start.elapsed().as_secs_f64();
+
+    let stats = cache.stats();
+    let (computed, reused) = cells_of(&stats);
+    let lookups = computed + reused;
+    let reuse_pct = if lookups == 0 {
+        0.0
+    } else {
+        100.0 * reused as f64 / lookups as f64
+    };
+    eprintln!(
+        "[suite] total {:.2}s; cells: {} computed, {} reused ({:.1}% reuse); \
+         hulls: {} computed, {} reused",
+        total_seconds, computed, reused, reuse_pct, stats.hulls.misses, stats.hulls.hits
+    );
+
+    if let Some(sink) = &sink {
+        for (scope, m) in [
+            ("runs", stats.runs),
+            ("experiments", stats.experiments),
+            ("allocs", stats.allocs),
+            ("hulls", stats.hulls),
+        ] {
+            sink.emit(&Event::CacheStats {
+                scope,
+                hits: m.hits,
+                misses: m.misses,
+                entries: m.entries,
+            });
+        }
+        sink.flush()?;
+    }
+    if let Some(path) = &stats_path {
+        write_stats(path, &reports, total_seconds, &stats)?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("suite: {e}");
+            ExitCode::from(if e.is_usage() { 2 } else { 1 })
+        }
+    }
+}

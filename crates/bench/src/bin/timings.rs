@@ -6,11 +6,16 @@
 //! with the same schema exists next to the output (e.g., measured on an
 //! older tree), the report includes the combined speedup against it.
 //!
+//! After timing the standalone binaries, the same figure set runs once
+//! through the one-process `suite` binary; the report's `"suite"` section
+//! pins its wall-clock, speedup over the summed standalone times, and the
+//! shared-cache dedup counts.
+//!
 //! Usage: `timings [--out DIR] [--threads N]` (`--threads` is forwarded to
 //! the figure binaries).
 
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::Command;
 use std::time::Instant;
 
@@ -101,6 +106,38 @@ fn analytic_throughput() -> (u64, f64) {
     (intervals, intervals as f64 / secs)
 }
 
+/// Runs the one-process `suite` binary over the whole [`SUITE`] at the
+/// same mix/thread settings and returns `(seconds, cells_computed,
+/// cells_reused)`. The suite shares one [`CellCache`] across figures, so
+/// this wall-clock is the dedup headline the report compares against the
+/// summed standalone times.
+///
+/// [`CellCache`]: jumanji_bench::cell_cache::CellCache
+fn suite_timing(bin_dir: &Path, out_dir: &Path, threads: usize) -> (f64, u64, u64) {
+    let tsv_dir = out_dir.join("suite_tsv");
+    let stats_path = out_dir.join("suite_stats.json");
+    let t = Instant::now();
+    let status = Command::new(bin_dir.join("suite"))
+        .args(["--figures", &SUITE.join(",")])
+        .args(["--mixes", &SUITE_MIXES.to_string()])
+        .args(["--threads", &threads.to_string()])
+        .args(["--out".as_ref(), tsv_dir.as_os_str()])
+        .args(["--stats".as_ref(), stats_path.as_os_str()])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .unwrap_or_else(|e| panic!("failed to spawn suite: {e}"));
+    assert!(status.success(), "suite exited with {status}");
+    let secs = t.elapsed().as_secs_f64();
+    let stats = std::fs::read_to_string(&stats_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", stats_path.display()));
+    let computed = read_number(&stats, "\"cells_computed\":").expect("cells_computed") as u64;
+    let reused = read_number(&stats, "\"cells_reused\":").expect("cells_reused") as u64;
+    let _ = std::fs::remove_dir_all(&tsv_dir);
+    let _ = std::fs::remove_file(&stats_path);
+    (secs, computed, reused)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let out_dir = flag_value(&args, "--out").map_or_else(|| PathBuf::from("."), PathBuf::from);
@@ -129,6 +166,19 @@ fn main() {
     }
     let total: f64 = rows.iter().map(|(_, s)| s).sum();
     eprintln!("total: {total:.2}s");
+
+    let (suite_secs, cells_computed, cells_reused) = suite_timing(&bin_dir, &out_dir, threads);
+    let lookups = cells_computed + cells_reused;
+    let reuse_rate = if lookups == 0 {
+        0.0
+    } else {
+        cells_reused as f64 / lookups as f64
+    };
+    eprintln!(
+        "suite: {suite_secs:.2}s ({:.2}x vs summed standalone; {cells_computed} cells computed, \
+         {cells_reused} reused)",
+        total / suite_secs
+    );
 
     let (detail_accesses, detail_rate) = detail_throughput();
     eprintln!("detail: {detail_rate:.3e} accesses/sec ({detail_accesses} accesses, 1 core)");
@@ -189,6 +239,14 @@ fn main() {
         eprintln!("analytic speedup vs baseline: {:.2}x", analytic_rate / base);
     }
     json.push_str("\n  },\n");
+    json.push_str("  \"suite\": {\n");
+    json.push_str(&format!(
+        "    \"seconds\": {suite_secs:.3},\n    \"standalone_total_seconds\": {total:.3},\n    \
+         \"speedup_vs_standalone\": {:.2},\n    \"dedup_cells_computed\": {cells_computed},\n    \
+         \"dedup_cells_reused\": {cells_reused},\n    \"dedup_reuse_rate\": {reuse_rate:.4}\n",
+        total / suite_secs
+    ));
+    json.push_str("  },\n");
     json.push_str(&format!("  \"total_seconds\": {total:.3}"));
     if let Some(base_total) = baseline {
         json.push_str(&format!(

@@ -1,0 +1,326 @@
+//! The process-wide experiment-cell cache.
+//!
+//! The paper's evaluation is one big matrix of `(mix, load, design, seed)`
+//! cells rendered eighteen different ways — fig13 and fig14 run the *same*
+//! experiments and differ only in rendering, the sensitivity study's
+//! default rows duplicate the main-results cells, and so on. [`CellCache`]
+//! memoizes the three expensive pure computations behind a cell, shared by
+//! every worker thread and every figure in the process:
+//!
+//! - **experiments** — constructed [`Experiment`]s (profile hulls,
+//!   deadline isolation runs, stream generators), keyed by the content of
+//!   `(mix, load, options)`;
+//! - **runs** — completed [`ExperimentResult`]s, keyed by the experiment's
+//!   content key plus the design;
+//! - **allocs** — one-shot [`DesignKind::allocate`] placements, keyed by
+//!   [`PlacementInput::content_key`] plus the design.
+//!
+//! Keys are 128-bit content fingerprints
+//! ([`fingerprint128`](jumanji::types::hash::fingerprint128)) of the
+//! `Debug` form of the full input, so two cells share an entry exactly
+//! when the simulation would do identical work.
+//!
+//! **Tracing bypasses cache reads.** A traced run must emit its complete
+//! per-interval event stream, so when the sink is enabled the cache
+//! re-runs the experiment (writing the result through for later untraced
+//! readers). Telemetry's bit-identical contract makes the written-through
+//! result indistinguishable from an untraced computation.
+//!
+//! The escape hatch: `--no-cache` on any figure binary (or
+//! `JUMANJI_NO_CACHE=1`) disables the global cache, making every lookup
+//! compute fresh.
+
+use jumanji::core::{Allocation, DesignKind, PlacementInput};
+use jumanji::sim::{ratio_hull_cache_stats, Experiment, ExperimentResult, SimOptions};
+use jumanji::telemetry::Telemetry;
+use jumanji::types::hash::fingerprint128;
+use jumanji::types::{MapStats, ShardedMap};
+use jumanji::workloads::{LcLoad, WorkloadMix};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A constructed experiment plus the cache identity it was filed under
+/// (`None` when the cache is disabled, so downstream run lookups also
+/// compute fresh).
+#[derive(Debug, Clone)]
+pub struct ExperimentHandle {
+    exp: Arc<Experiment>,
+    key: Option<u128>,
+}
+
+impl ExperimentHandle {
+    /// The underlying experiment.
+    pub fn experiment(&self) -> &Experiment {
+        &self.exp
+    }
+}
+
+/// Counter snapshot of every memo a [`CellCache`] reports on: its own
+/// three maps plus the simulator's process-wide ratio-hull memo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CellCacheStats {
+    /// Completed experiment results.
+    pub runs: MapStats,
+    /// Constructed experiments.
+    pub experiments: MapStats,
+    /// One-shot placement allocations.
+    pub allocs: MapStats,
+    /// The simulator's shared ratio-hull memo.
+    pub hulls: MapStats,
+}
+
+/// A shared concurrent cache of experiment cells (see the module docs).
+///
+/// All methods are `&self` and thread-safe; the figure binaries share one
+/// instance via [`CellCache::global`], while tests that need isolated
+/// counters construct their own with [`CellCache::new`].
+#[derive(Debug)]
+pub struct CellCache {
+    enabled: AtomicBool,
+    experiments: ShardedMap<u128, Arc<Experiment>>,
+    runs: ShardedMap<u128, Arc<ExperimentResult>>,
+    allocs: ShardedMap<u128, Allocation>,
+}
+
+impl Default for CellCache {
+    fn default() -> CellCache {
+        CellCache::new()
+    }
+}
+
+impl CellCache {
+    /// An empty, enabled cache.
+    pub fn new() -> CellCache {
+        CellCache {
+            enabled: AtomicBool::new(true),
+            experiments: ShardedMap::new(),
+            runs: ShardedMap::new(),
+            allocs: ShardedMap::new(),
+        }
+    }
+
+    /// The process-wide cache every figure and the `suite` binary share.
+    ///
+    /// Honours `JUMANJI_NO_CACHE` at first use: any value other than empty
+    /// or `0` starts the cache disabled.
+    pub fn global() -> &'static CellCache {
+        static GLOBAL: OnceLock<CellCache> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let cache = CellCache::new();
+            if let Ok(v) = std::env::var("JUMANJI_NO_CACHE") {
+                if !v.is_empty() && v != "0" {
+                    cache.set_enabled(false);
+                }
+            }
+            cache
+        })
+    }
+
+    /// Whether lookups may reuse memoized results.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns memoization on or off. Disabling does not drop existing
+    /// entries; it makes every lookup compute fresh.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// The experiment for `(mix, load, opts)`, constructed at most once
+    /// per process while the cache is enabled.
+    pub fn experiment(&self, mix: WorkloadMix, load: LcLoad, opts: SimOptions) -> ExperimentHandle {
+        if !self.enabled() {
+            return ExperimentHandle {
+                exp: Arc::new(Experiment::new(mix, load, opts)),
+                key: None,
+            };
+        }
+        let key = fingerprint128(format!("exp|{load:?}|{opts:?}|{mix:?}").as_bytes());
+        let exp = self
+            .experiments
+            .get_or_compute(key, || Arc::new(Experiment::new(mix, load, opts)));
+        ExperimentHandle {
+            exp,
+            key: Some(key),
+        }
+    }
+
+    /// The result of running `design` on `handle`'s experiment, computed
+    /// at most once per process while the cache is enabled and `tel` is
+    /// disabled.
+    ///
+    /// An enabled sink forces a full re-run (the event stream must be
+    /// complete) whose result is written through for later untraced
+    /// readers — sound because traced runs are bit-identical to untraced
+    /// ones by the telemetry contract.
+    pub fn run(
+        &self,
+        handle: &ExperimentHandle,
+        design: DesignKind,
+        tel: &dyn Telemetry,
+    ) -> Arc<ExperimentResult> {
+        let Some(base) = handle.key else {
+            return Arc::new(handle.exp.run_traced(design, tel));
+        };
+        let key = fingerprint128(format!("run|{base:032x}|{design:?}").as_bytes());
+        if tel.enabled() {
+            let result = Arc::new(handle.exp.run_traced(design, tel));
+            self.runs.insert(key, Arc::clone(&result));
+            return result;
+        }
+        let exp = Arc::clone(&handle.exp);
+        self.runs
+            .get_or_compute(key, move || Arc::new(exp.run(design)))
+    }
+
+    /// The allocation `design` produces for `input`, computed at most once
+    /// per process per distinct input while the cache is enabled.
+    pub fn allocate(&self, design: DesignKind, input: &PlacementInput) -> Allocation {
+        if !self.enabled() {
+            return design.allocate(input);
+        }
+        let key =
+            fingerprint128(format!("alloc|{design:?}|{:032x}", input.content_key()).as_bytes());
+        self.allocs.get_or_compute(key, || design.allocate(input))
+    }
+
+    /// A snapshot of every memo's counters (including the simulator's
+    /// shared hull memo).
+    pub fn stats(&self) -> CellCacheStats {
+        CellCacheStats {
+            runs: self.runs.stats(),
+            experiments: self.experiments.stats(),
+            allocs: self.allocs.stats(),
+            hulls: ratio_hull_cache_stats(),
+        }
+    }
+
+    /// Drops every entry and resets this cache's counters (the hull memo
+    /// is owned by the simulator and is left alone).
+    pub fn clear(&self) {
+        self.experiments.clear();
+        self.runs.clear();
+        self.allocs.clear();
+    }
+}
+
+/// Applies process-level cache flags from a figure binary's argument list:
+/// `--no-cache` disables the global cache before any experiment runs.
+pub fn apply_cache_flags(args: &[String]) {
+    if wants_no_cache(args) {
+        CellCache::global().set_enabled(false);
+    }
+}
+
+fn wants_no_cache(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--no-cache")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jumanji::telemetry::{Event, NoopSink, RecordingSink};
+    use jumanji::types::{Seconds, SystemConfig};
+    use jumanji::workloads::case_study_mix;
+
+    fn quick_opts() -> SimOptions {
+        SimOptions {
+            duration: Seconds(0.5),
+            ..SimOptions::default()
+        }
+    }
+
+    #[test]
+    fn cached_run_matches_direct_run_exactly() {
+        let cache = CellCache::new();
+        let handle = cache.experiment(case_study_mix(3), LcLoad::High, quick_opts());
+        let cached = cache.run(&handle, DesignKind::Jumanji, &NoopSink);
+        let direct =
+            Experiment::new(case_study_mix(3), LcLoad::High, quick_opts()).run(DesignKind::Jumanji);
+        assert_eq!(format!("{cached:?}"), format!("{direct:?}"));
+    }
+
+    #[test]
+    fn repeat_lookups_reuse_the_same_result() {
+        let cache = CellCache::new();
+        let h1 = cache.experiment(case_study_mix(1), LcLoad::Low, quick_opts());
+        let h2 = cache.experiment(case_study_mix(1), LcLoad::Low, quick_opts());
+        assert!(Arc::ptr_eq(&h1.exp, &h2.exp));
+        let r1 = cache.run(&h1, DesignKind::Jigsaw, &NoopSink);
+        let r2 = cache.run(&h2, DesignKind::Jigsaw, &NoopSink);
+        assert!(Arc::ptr_eq(&r1, &r2));
+        let s = cache.stats();
+        assert_eq!(s.experiments.hits, 1);
+        assert_eq!(s.experiments.misses, 1);
+        assert_eq!(s.runs.hits, 1);
+        assert_eq!(s.runs.misses, 1);
+    }
+
+    #[test]
+    fn tracing_bypasses_reads_but_writes_through() {
+        let cache = CellCache::new();
+        let handle = cache.experiment(case_study_mix(2), LcLoad::High, quick_opts());
+        // Warm the cache untraced.
+        let warm = cache.run(&handle, DesignKind::Jumanji, &NoopSink);
+        // A traced run must still emit the full event stream...
+        let sink = RecordingSink::new();
+        let traced = cache.run(&handle, DesignKind::Jumanji, &sink);
+        assert!(
+            sink.events()
+                .iter()
+                .any(|e| matches!(e, Event::RunSummary { .. })),
+            "traced run must emit events even on a warm cache"
+        );
+        // ...and its result must be bit-identical to the cached one.
+        assert_eq!(format!("{traced:?}"), format!("{warm:?}"));
+        // The traced result replaced the entry (write-through, counted as
+        // a miss) — never served from cache.
+        assert_eq!(cache.stats().runs.hits, 0);
+        assert_eq!(cache.stats().runs.misses, 2);
+    }
+
+    #[test]
+    fn disabled_cache_computes_fresh_and_stores_nothing() {
+        let cache = CellCache::new();
+        cache.set_enabled(false);
+        assert!(!cache.enabled());
+        let h1 = cache.experiment(case_study_mix(1), LcLoad::High, quick_opts());
+        let h2 = cache.experiment(case_study_mix(1), LcLoad::High, quick_opts());
+        assert!(!Arc::ptr_eq(&h1.exp, &h2.exp));
+        let r1 = cache.run(&h1, DesignKind::Jumanji, &NoopSink);
+        let r2 = cache.run(&h2, DesignKind::Jumanji, &NoopSink);
+        assert!(!Arc::ptr_eq(&r1, &r2));
+        assert_eq!(format!("{r1:?}"), format!("{r2:?}"));
+        let s = cache.stats();
+        assert_eq!(s.experiments.entries, 0);
+        assert_eq!(s.runs.entries, 0);
+    }
+
+    #[test]
+    fn allocations_are_memoized_by_content() {
+        let cache = CellCache::new();
+        let cfg = SystemConfig::micro2020();
+        let input = PlacementInput::example(&cfg);
+        let a = cache.allocate(DesignKind::Jumanji, &input);
+        let b = cache.allocate(DesignKind::Jumanji, &input.clone());
+        assert_eq!(a, b);
+        let direct = DesignKind::Jumanji.allocate(&input);
+        assert_eq!(a, direct);
+        let s = cache.stats();
+        assert_eq!((s.allocs.hits, s.allocs.misses), (1, 1));
+        // A different design is a different cell.
+        let _ = cache.allocate(DesignKind::Jigsaw, &input);
+        assert_eq!(cache.stats().allocs.entries, 2);
+    }
+
+    #[test]
+    fn no_cache_flag_is_recognised() {
+        // Parsing only: the global cache is shared with other tests, so
+        // this avoids flipping it.
+        let plain: Vec<String> = vec!["--mixes".into(), "2".into()];
+        assert!(!wants_no_cache(&plain));
+        let flagged: Vec<String> = vec!["--mixes".into(), "2".into(), "--no-cache".into()];
+        assert!(wants_no_cache(&flagged));
+    }
+}

@@ -24,13 +24,25 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// Returns the argument following `flag` (e.g., `--mixes`) in `args`.
+/// Returns the value of `flag` (e.g., `--mixes`) in `args`, accepting
+/// both the space form (`--mixes 4`) and the equals form (`--mixes=4`).
 ///
-/// `args` is an argv-style slice; the value is whatever token follows the
-/// flag, if any.
+/// `args` is an argv-style slice; the first occurrence of either form
+/// wins, scanning left to right. The space form's value is whatever token
+/// follows the flag, if any; `--flag=` yields an empty string (the caller
+/// decides whether that parses).
 pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    let pos = args.iter().position(|a| a == flag)?;
-    args.get(pos + 1).cloned()
+    for (i, arg) in args.iter().enumerate() {
+        if arg == flag {
+            return args.get(i + 1).cloned();
+        }
+        if let Some(rest) = arg.strip_prefix(flag) {
+            if let Some(value) = rest.strip_prefix('=') {
+                return Some(value.to_string());
+            }
+        }
+    }
+    None
 }
 
 /// Resolves a count knob with CLI-beats-env-beats-default precedence.
@@ -162,6 +174,30 @@ mod tests {
         // Trailing flag with no value.
         let args = argv(&["prog", "--mixes"]);
         assert_eq!(flag_value(&args, "--mixes"), None);
+    }
+
+    #[test]
+    fn flag_value_accepts_equals_form() {
+        let args = argv(&["prog", "--mixes=7", "--threads=3"]);
+        assert_eq!(flag_value(&args, "--mixes").as_deref(), Some("7"));
+        assert_eq!(flag_value(&args, "--threads").as_deref(), Some("3"));
+        // Empty value is surfaced as such, not treated as absent.
+        let args = argv(&["prog", "--mixes="]);
+        assert_eq!(flag_value(&args, "--mixes").as_deref(), Some(""));
+        // A longer flag sharing the prefix must not match.
+        let args = argv(&["prog", "--mixes-per-run=9"]);
+        assert_eq!(flag_value(&args, "--mixes"), None);
+        // Values containing '=' survive intact.
+        let args = argv(&["prog", "--out=a=b"]);
+        assert_eq!(flag_value(&args, "--out").as_deref(), Some("a=b"));
+    }
+
+    #[test]
+    fn flag_value_first_occurrence_wins_across_forms() {
+        let args = argv(&["prog", "--mixes=5", "--mixes", "9"]);
+        assert_eq!(flag_value(&args, "--mixes").as_deref(), Some("5"));
+        let args = argv(&["prog", "--mixes", "9", "--mixes=5"]);
+        assert_eq!(flag_value(&args, "--mixes").as_deref(), Some("9"));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! controller-parameter sensitivity (Fig. 9).
 
 use super::sim_opts;
+use crate::cell_cache::CellCache;
 use crate::exec::parallel_map_traced;
 use crate::spec::ExperimentSpec;
 use jumanji::cache::analytic::assoc_penalty;
@@ -86,7 +87,7 @@ pub fn fig02(spec: &ExperimentSpec, tel: &dyn Telemetry, out: &mut dyn Write) ->
     // Each design's detailed simulation is an independent cell.
     let reports: Vec<(Allocation, DetailReport)> =
         parallel_map_traced(designs.len(), spec.threads, tel, |i| {
-            let alloc = designs[i].allocate(&input);
+            let alloc = CellCache::global().allocate(designs[i], &input);
             let report = run_detailed_traced(
                 &DetailOptions {
                     cfg: cfg.clone(),
@@ -154,9 +155,10 @@ pub fn fig04(spec: &ExperimentSpec, tel: &dyn Telemetry, out: &mut dyn Write) ->
         out,
         "design\tt_ms\tavg_latency_ms\tavg_alloc_mb\tvulnerability"
     )?;
+    let cache = CellCache::global();
+    let exp = cache.experiment(mix, LcLoad::High, opts);
     for &design in &spec.designs {
-        let exp = Experiment::new(mix.clone(), LcLoad::High, opts.clone());
-        let r = exp.run_traced(design, tel);
+        let r = cache.run(&exp, design, tel);
         for rec in &r.timeline {
             let lat: Vec<f64> = rec.lc_mean_latency_ms.iter().flatten().copied().collect();
             let avg_lat = if lat.is_empty() {
@@ -193,8 +195,9 @@ pub fn fig04(spec: &ExperimentSpec, tel: &dyn Telemetry, out: &mut dyn Write) ->
 pub fn fig05(spec: &ExperimentSpec, tel: &dyn Telemetry, out: &mut dyn Write) -> Result<(), Error> {
     let opts = sim_opts(spec);
     let mix = case_study_mix(spec.seed);
-    let exp = Experiment::new(mix, LcLoad::High, opts);
-    let baseline = exp.run_traced(DesignKind::Static, tel);
+    let cache = CellCache::global();
+    let exp = cache.experiment(mix, LcLoad::High, opts);
+    let baseline = cache.run(&exp, DesignKind::Static, tel);
     writeln!(
         out,
         "# Fig. 5: case study end-to-end (normalized to Static)"
@@ -204,7 +207,7 @@ pub fn fig05(spec: &ExperimentSpec, tel: &dyn Telemetry, out: &mut dyn Write) ->
         "design\tworst_norm_tail\tbatch_speedup_pct\tvulnerability"
     )?;
     for &design in &spec.designs {
-        let r = exp.run_traced(design, tel);
+        let r = cache.run(&exp, design, tel);
         writeln!(
             out,
             "{}\t{:.3}\t{:.2}\t{:.2}",
@@ -316,6 +319,7 @@ fn fig09_run(
     base_opts: &SimOptions,
     tel: &dyn Telemetry,
 ) -> (f64, f64) {
+    let cache = CellCache::global();
     let mut speedups = Vec::new();
     let mut worst_tail: f64 = 0.0;
     for seed in 0..mixes as u64 {
@@ -323,9 +327,9 @@ fn fig09_run(
             controller: Some(params),
             ..base_opts.clone()
         };
-        let exp = Experiment::new(case_study_mix(seed), LcLoad::High, opts);
-        let baseline = exp.run_traced(DesignKind::Static, tel);
-        let r = exp.run_traced(DesignKind::Jumanji, tel);
+        let exp = cache.experiment(case_study_mix(seed), LcLoad::High, opts);
+        let baseline = cache.run(&exp, DesignKind::Static, tel);
+        let r = cache.run(&exp, DesignKind::Jumanji, tel);
         speedups.push(r.weighted_speedup_vs(&baseline));
         worst_tail = worst_tail.max(r.max_norm_tail());
     }

@@ -2,6 +2,7 @@
 //! router-delay sensitivity (Fig. 18).
 
 use super::sim_opts;
+use crate::cell_cache::CellCache;
 use crate::exec::parallel_map_traced;
 use crate::spec::ExperimentSpec;
 use jumanji::prelude::*;
@@ -35,9 +36,10 @@ pub fn fig17(spec: &ExperimentSpec, tel: &dyn Telemetry, out: &mut dyn Write) ->
         pool.shuffle(&mut rng);
         pool.truncate(4);
         let mix = WorkloadMix::from_spec(cfg_spec, &pool, seed);
-        let exp = Experiment::new(mix, LcLoad::High, opts.clone());
-        let baseline = exp.run_traced(DesignKind::Static, tel);
-        let r = exp.run_traced(DesignKind::Jumanji, tel);
+        let cache = CellCache::global();
+        let exp = cache.experiment(mix, LcLoad::High, opts.clone());
+        let baseline = cache.run(&exp, DesignKind::Static, tel);
+        let r = cache.run(&exp, DesignKind::Jumanji, tel);
         (r.weighted_speedup_vs(&baseline), r.max_norm_tail())
     });
     for ((label, _), chunk) in configs.iter().zip(jobs.chunks(mixes)) {
@@ -75,9 +77,10 @@ pub fn fig18(spec: &ExperimentSpec, tel: &dyn Telemetry, out: &mut dyn Write) ->
         };
         let mut speedups = Vec::new();
         for seed in 0..mixes as u64 {
-            let exp = Experiment::new(WorkloadMix::mixed_lc(seed), LcLoad::High, opts.clone());
-            let baseline = exp.run_traced(DesignKind::Static, tel);
-            let r = exp.run_traced(DesignKind::Jumanji, tel);
+            let cache = CellCache::global();
+            let exp = cache.experiment(WorkloadMix::mixed_lc(seed), LcLoad::High, opts.clone());
+            let baseline = cache.run(&exp, DesignKind::Static, tel);
+            let r = cache.run(&exp, DesignKind::Jumanji, tel);
             speedups.push(r.weighted_speedup_vs(&baseline));
         }
         writeln!(out, "{router}\t{:.2}", (gmean(&speedups) - 1.0) * 100.0)?;

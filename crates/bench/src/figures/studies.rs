@@ -2,6 +2,7 @@
 //! ablation and the modeling-constant sensitivity sweep.
 
 use super::sim_opts;
+use crate::cell_cache::CellCache;
 use crate::exec::parallel_map_traced;
 use crate::spec::ExperimentSpec;
 use jumanji::core::jumanji_with_trades;
@@ -34,7 +35,7 @@ pub fn ablation(
     // 1. Trade refinement on static placement problems.
     let cfg = SystemConfig::micro2020();
     let input = PlacementInput::example(&cfg);
-    let base = DesignKind::Jumanji.allocate(&input);
+    let base = CellCache::global().allocate(DesignKind::Jumanji, &input);
     let (traded, stats) = jumanji_with_trades(&input);
     let avg_batch_dist = |alloc: &jumanji::core::Allocation| -> f64 {
         let batch: Vec<_> = input
@@ -68,14 +69,18 @@ pub fn ablation(
     // 2-3. Isolation and ideality costs over random mixes, one seed per
     // worker-pool job.
     let per_seed = parallel_map_traced(mixes, threads, tel, |seed| {
-        let exp = Experiment::new(case_study_mix(seed as u64), LcLoad::High, opts.clone());
-        let stat = exp.run_traced(DesignKind::Static, tel);
+        let cache = CellCache::global();
+        let exp = cache.experiment(case_study_mix(seed as u64), LcLoad::High, opts.clone());
+        let stat = cache.run(&exp, DesignKind::Static, tel);
         (
-            exp.run_traced(DesignKind::Jumanji, tel)
+            cache
+                .run(&exp, DesignKind::Jumanji, tel)
                 .weighted_speedup_vs(&stat),
-            exp.run_traced(DesignKind::JumanjiInsecure, tel)
+            cache
+                .run(&exp, DesignKind::JumanjiInsecure, tel)
                 .weighted_speedup_vs(&stat),
-            exp.run_traced(DesignKind::JumanjiIdealBatch, tel)
+            cache
+                .run(&exp, DesignKind::JumanjiIdealBatch, tel)
                 .weighted_speedup_vs(&stat),
         )
     });
@@ -112,9 +117,10 @@ pub fn ablation(
         ..ControllerParams::micro2020(llc)
     };
     let tails = parallel_map_traced(mixes, threads, tel, |seed| {
-        let exp = Experiment::new(case_study_mix(seed as u64), LcLoad::High, opts.clone());
-        let with_t = exp.run_traced(DesignKind::Jumanji, tel).max_norm_tail();
-        let exp2 = Experiment::new(
+        let cache = CellCache::global();
+        let exp = cache.experiment(case_study_mix(seed as u64), LcLoad::High, opts.clone());
+        let with_t = cache.run(&exp, DesignKind::Jumanji, tel).max_norm_tail();
+        let exp2 = cache.experiment(
             case_study_mix(seed as u64),
             LcLoad::High,
             SimOptions {
@@ -122,7 +128,7 @@ pub fn ablation(
                 ..opts.clone()
             },
         );
-        let without_t = exp2.run_traced(DesignKind::Jumanji, tel).max_norm_tail();
+        let without_t = cache.run(&exp2, DesignKind::Jumanji, tel).max_norm_tail();
         (with_t, without_t)
     });
     let with_t = tails.iter().map(|t| t.0).fold(0.0f64, f64::max);
@@ -155,11 +161,12 @@ fn sensitivity_run_one(
     label: String,
     tel: &dyn Telemetry,
 ) -> Row {
-    let exp = Experiment::new(mix, LcLoad::High, opts);
-    let stat = exp.run_traced(DesignKind::Static, tel);
-    let jumanji = exp.run_traced(DesignKind::Jumanji, tel);
-    let jigsaw = exp.run_traced(DesignKind::Jigsaw, tel);
-    let adaptive = exp.run_traced(DesignKind::Adaptive, tel);
+    let cache = CellCache::global();
+    let exp = cache.experiment(mix, LcLoad::High, opts);
+    let stat = cache.run(&exp, DesignKind::Static, tel);
+    let jumanji = cache.run(&exp, DesignKind::Jumanji, tel);
+    let jigsaw = cache.run(&exp, DesignKind::Jigsaw, tel);
+    let adaptive = cache.run(&exp, DesignKind::Adaptive, tel);
     Row {
         label,
         jumanji_speedup: (jumanji.weighted_speedup_vs(&stat) - 1.0) * 100.0,

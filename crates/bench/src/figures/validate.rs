@@ -2,6 +2,7 @@
 //! the analytic epoch model's miss ratio and hop distance vs. the
 //! detailed execution-driven simulation of the same allocation.
 
+use crate::cell_cache::CellCache;
 use crate::exec::parallel_map_traced;
 use crate::spec::ExperimentSpec;
 use jumanji::core::AppKind;
@@ -69,7 +70,7 @@ pub fn validate(
                 Profile::Lc(l, load) => l.qps(*load) * l.accesses_per_req,
             })
             .collect();
-        let alloc = design.allocate(&input);
+        let alloc = CellCache::global().allocate(design, &input);
         let analytic = evaluate(&cfg, &profiles, &cores, &alloc, &rates);
         let opts = DetailOptions {
             cfg: cfg.clone(),

@@ -27,10 +27,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cell_cache;
 pub mod exec;
 pub mod figures;
 pub mod spec;
 
+pub use cell_cache::{CellCache, CellCacheStats};
 pub use spec::{figure_main, run_spec, run_spec_to, ExperimentSpec, FigureKind};
 
 use jumanji::prelude::*;
@@ -275,17 +277,37 @@ pub fn run_mix(
     opts: &SimOptions,
     tel: &dyn Telemetry,
 ) -> Result<Vec<MixMetrics>, Error> {
+    run_mix_with(CellCache::global(), group, load, designs, seed, opts, tel)
+}
+
+/// [`run_mix`] against an explicit [`CellCache`] (the public entry point
+/// uses the process-wide one). Identical cells — same group, load, seed,
+/// options, and design — are simulated once per process and reused by
+/// every figure that asks for them.
+///
+/// # Errors
+///
+/// Returns [`Error::UnknownWorkload`] when the group names no server.
+pub fn run_mix_with(
+    cache: &CellCache,
+    group: LcGroup,
+    load: LcLoad,
+    designs: &[DesignKind],
+    seed: u64,
+    opts: &SimOptions,
+    tel: &dyn Telemetry,
+) -> Result<Vec<MixMetrics>, Error> {
     let mut opts = opts.clone();
     opts.seed ^= seed.wrapping_mul(0x9E37_79B9);
-    let exp = Experiment::new(group.mix(seed)?, load, opts);
-    let baseline = exp.run_traced(DesignKind::Static, tel);
+    let exp = cache.experiment(group.mix(seed)?, load, opts);
+    let baseline = cache.run(&exp, DesignKind::Static, tel);
     Ok(designs
         .iter()
         .map(|&design| {
             if design == DesignKind::Static {
                 MixMetrics::of(&baseline, &baseline)
             } else {
-                MixMetrics::of(&exp.run_traced(design, tel), &baseline)
+                MixMetrics::of(&cache.run(&exp, design, tel), &baseline)
             }
         })
         .collect())
@@ -539,5 +561,39 @@ mod tests {
                 .expect("known workloads");
             assert_eq!(*cells, single);
         }
+    }
+
+    #[test]
+    fn cached_mix_matches_uncached_and_dedups_repeats() {
+        let designs = [DesignKind::Static, DesignKind::Jigsaw, DesignKind::Jumanji];
+        let cached = CellCache::new();
+        let uncached = CellCache::new();
+        uncached.set_enabled(false);
+        let run = |cache: &CellCache| {
+            run_mix_with(
+                cache,
+                LcGroup::Same("moses"),
+                LcLoad::High,
+                &designs,
+                1,
+                &quick_opts(),
+                &NoopSink,
+            )
+            .expect("known workload")
+        };
+        assert_eq!(
+            run(&cached),
+            run(&uncached),
+            "cache must not change results"
+        );
+        // Second pass over the same cell: everything served from cache.
+        assert_eq!(run(&cached), run(&cached));
+        let s = cached.stats();
+        assert_eq!(s.experiments.misses, 1, "one experiment construction");
+        assert_eq!(s.experiments.hits, 2);
+        // Static baseline + 2 non-static designs, computed once each.
+        assert_eq!(s.runs.misses, 3);
+        assert_eq!(s.runs.hits, 6);
+        assert_eq!(uncached.stats().runs.entries, 0);
     }
 }

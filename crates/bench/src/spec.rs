@@ -116,6 +116,14 @@ impl FigureKind {
         }
     }
 
+    /// The kind whose [`FigureKind::name`] is `name`, if any.
+    ///
+    /// This is the parsing direction, used by the `suite` binary's
+    /// `--figures fig13,fig14,…` list.
+    pub fn from_name(name: &str) -> Option<FigureKind> {
+        FigureKind::all().into_iter().find(|k| k.name() == name)
+    }
+
     /// Default mix/seed count. Figures that run a single fixed scenario
     /// (the case study, the attack demos, the config tables) report `1`.
     pub fn default_mixes(self) -> usize {
@@ -342,16 +350,26 @@ impl ExperimentSpec {
     }
 }
 
-/// The value after `flag`, as text. Present-with-no-value is a usage
-/// error; another `--flag` in value position is treated as missing.
+/// The value of `flag`, as text, in either `--flag value` or
+/// `--flag=value` form (first occurrence wins). Present-with-no-value —
+/// a bare trailing flag, another `--flag` in value position, or an empty
+/// `--flag=` — is a usage error.
 fn flag_text(args: &[String], flag: &str) -> Result<Option<String>, Error> {
-    let Some(pos) = args.iter().position(|a| a == flag) else {
-        return Ok(None);
-    };
-    match args.get(pos + 1) {
-        Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
-        _ => Err(Error::flag(flag, "expected a value")),
+    for (i, arg) in args.iter().enumerate() {
+        if arg == flag {
+            return match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
+                _ => Err(Error::flag(flag, "expected a value")),
+            };
+        }
+        if let Some(value) = arg.strip_prefix(flag).and_then(|r| r.strip_prefix('=')) {
+            if value.is_empty() {
+                return Err(Error::flag(flag, "expected a value"));
+            }
+            return Ok(Some(value.to_string()));
+        }
     }
+    Ok(None)
 }
 
 /// The value after `flag`, parsed. Unparseable is a usage error.
@@ -404,9 +422,12 @@ pub fn run_spec_to(spec: &ExperimentSpec, out: &mut dyn Write) -> Result<(), Err
     Ok(())
 }
 
-/// The whole `main` of a figure binary: parse argv/env, run, map errors
-/// to exit codes (usage → 2, runtime → 1).
+/// The whole `main` of a figure binary: parse argv/env (including the
+/// process-level `--no-cache` escape hatch), run, map errors to exit
+/// codes (usage → 2, runtime → 1).
 pub fn figure_main(kind: FigureKind) -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    crate::cell_cache::apply_cache_flags(&args);
     let spec = match ExperimentSpec::from_args_env(kind) {
         Ok(spec) => spec,
         Err(e) => {
@@ -484,6 +505,44 @@ mod tests {
             ExperimentSpec::from_args(FigureKind::Fig13, &argv(&["fig13", "--trace", "--verbose"]))
                 .expect_err("flag as value");
         assert!(err.to_string().contains("--trace"));
+    }
+
+    #[test]
+    fn cli_flags_accept_equals_form() {
+        let args = argv(&["fig13", "--mixes=7", "--threads=3", "--seed=42"]);
+        let spec = ExperimentSpec::from_args(FigureKind::Fig13, &args).expect("valid argv");
+        assert_eq!((spec.mixes, spec.threads, spec.seed), (7, 3, 42));
+
+        let spec =
+            ExperimentSpec::from_args(FigureKind::Fig13, &argv(&["fig13", "--trace=/tmp/t.jsonl"]))
+                .expect("valid argv");
+        assert_eq!(
+            spec.trace.as_deref(),
+            Some(std::path::Path::new("/tmp/t.jsonl"))
+        );
+
+        // Mixed forms in one argv; first occurrence wins per flag.
+        let args = argv(&["fig13", "--mixes=5", "--threads", "2"]);
+        let spec = ExperimentSpec::from_args(FigureKind::Fig13, &args).expect("valid argv");
+        assert_eq!((spec.mixes, spec.threads), (5, 2));
+
+        let err = ExperimentSpec::from_args(FigureKind::Fig13, &argv(&["fig13", "--mixes="]))
+            .expect_err("empty value");
+        assert!(err.is_usage());
+        assert!(err.to_string().contains("--mixes"));
+
+        let err = ExperimentSpec::from_args(FigureKind::Fig13, &argv(&["fig13", "--mixes=x"]))
+            .expect_err("unparseable value");
+        assert!(err.is_usage());
+    }
+
+    #[test]
+    fn from_name_round_trips_every_kind() {
+        for kind in FigureKind::all() {
+            assert_eq!(FigureKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(FigureKind::from_name("fig99"), None);
+        assert_eq!(FigureKind::from_name(""), None);
     }
 
     #[test]

@@ -32,6 +32,11 @@ pub fn isolation_service_cycles(profile: &LcProfile, cfg: &SystemConfig) -> f64 
     profile.service_cycles(llc_lat, mr, noc.avg_miss_penalty())
 }
 
+/// The process-wide deadline memo: one isolation run per distinct
+/// `(profile, cfg)` per process, shared by every worker thread.
+static DEADLINES: std::sync::LazyLock<nuca_types::ShardedMap<u128, f64>> =
+    std::sync::LazyLock::new(nuca_types::ShardedMap::new);
+
 /// The deadline, in cycles, for `profile` per the paper's methodology.
 ///
 /// Deterministic: the arrival stream is seeded from the profile name.
@@ -40,23 +45,12 @@ pub fn isolation_service_cycles(profile: &LcProfile, cfg: &SystemConfig) -> f64 
 /// far the most expensive step of `Experiment::new` — and it is a pure
 /// function of `(profile, cfg)`, both of which repeat across the thousands
 /// of experiments a figure sweep runs. The result is therefore memoized
-/// per thread (thread-local so the parallel experiment engine needs no
-/// locking; each worker warms its own cache in a few calls).
+/// process-wide, keyed by the content fingerprint of the full input.
 pub fn deadline_cycles(profile: &LcProfile, cfg: &SystemConfig) -> f64 {
-    use std::cell::RefCell;
-    use std::collections::HashMap;
-    thread_local! {
-        static CACHE: RefCell<HashMap<String, f64>> = RefCell::new(HashMap::new());
-    }
     // Debug formatting captures every field (including the curve shape),
     // so any change to the profile or machine gets its own entry.
-    let key = format!("{profile:?}|{cfg:?}");
-    if let Some(d) = CACHE.with(|c| c.borrow().get(&key).copied()) {
-        return d;
-    }
-    let d = deadline_cycles_uncached(profile, cfg);
-    CACHE.with(|c| c.borrow_mut().insert(key, d));
-    d
+    let key = nuca_types::hash::fingerprint128(format!("{profile:?}|{cfg:?}").as_bytes());
+    DEADLINES.get_or_compute(key, || deadline_cycles_uncached(profile, cfg))
 }
 
 fn deadline_cycles_uncached(profile: &LcProfile, cfg: &SystemConfig) -> f64 {

@@ -42,4 +42,7 @@ pub mod perf;
 pub mod queueing;
 mod runner;
 
-pub use runner::{Experiment, ExperimentResult, IntervalRecord, Migration, SimApp, SimOptions};
+pub use runner::{
+    compute_ratio_hull, exact_ratio_hull, ratio_hull_cache_stats, Experiment, ExperimentResult,
+    IntervalRecord, Migration, SimApp, SimOptions,
+};

@@ -441,30 +441,28 @@ fn effective_capacities_into(
     }
 }
 
+/// The process-wide memo of sampled miss-ratio curves (see
+/// [`sampled_ratio_curve`]). Shared by every worker thread, so each
+/// profile is sampled once per process instead of once per thread.
+static SAMPLED_CURVES: std::sync::LazyLock<nuca_types::ShardedMap<u128, Arc<MissCurve>>> =
+    std::sync::LazyLock::new(nuca_types::ShardedMap::new);
+
 /// Memoized unit-granularity sampling of a profile's miss-ratio curve.
 ///
 /// Sampling evaluates `units + 1` parametric curve points (each a `powf`
 /// per smooth component), and pooled designs resample every member on
 /// every interval; the cache turns that into one sampling per profile per
-/// thread. Thread-local so the parallel experiment engine needs no locks;
-/// returns an `Arc` so per-scratch memoization shares the curve without
-/// copying the point vector.
+/// process, keyed by the content fingerprint of the full input. Returns an
+/// `Arc` so per-scratch memoization shares the curve without copying the
+/// point vector.
 fn sampled_ratio_curve(prof: &Profile, unit: u64, units: usize) -> Arc<MissCurve> {
-    use std::cell::RefCell;
-    use std::collections::HashMap;
-    thread_local! {
-        static CACHE: RefCell<HashMap<String, Arc<MissCurve>>> = RefCell::new(HashMap::new());
-    }
-    let key = format!("{prof:?}|{unit}|{units}");
-    if let Some(c) = CACHE.with(|c| c.borrow().get(&key).cloned()) {
-        return c;
-    }
-    let pts: Vec<f64> = (0..=units)
-        .map(|u| prof.miss_ratio((u as u64 * unit) as f64))
-        .collect();
-    let curve = Arc::new(MissCurve::new(unit, pts));
-    CACHE.with(|c| c.borrow_mut().insert(key, Arc::clone(&curve)));
-    curve
+    let key = nuca_types::hash::fingerprint128(format!("{prof:?}|{unit}|{units}").as_bytes());
+    SAMPLED_CURVES.get_or_compute(key, || {
+        let pts: Vec<f64> = (0..=units)
+            .map(|u| prof.miss_ratio((u as u64 * unit) as f64))
+            .collect();
+        Arc::new(MissCurve::new(unit, pts))
+    })
 }
 
 /// Average ways available to the app where its data lives (pool ways for

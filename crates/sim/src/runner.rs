@@ -774,29 +774,42 @@ fn bits_eq(a: &[f64], b: &[f64]) -> bool {
     a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
+/// The process-wide ratio-hull memo, shared by every worker thread.
+///
+/// Replaces the old per-thread `thread_local!` memo: with N workers that
+/// design computed each hull up to N times and duplicated the storage N
+/// ways. Keyed by the content fingerprint of the full input (profile debug
+/// form + way grid), so a hull is computed exactly once per process.
+static RATIO_HULLS: std::sync::LazyLock<nuca_types::ShardedMap<u128, Arc<MissCurve>>> =
+    std::sync::LazyLock::new(nuca_types::ShardedMap::new);
+
 /// The noise-free DRRIP hull of `p`'s miss-ratio curve on the way grid.
 ///
 /// Sampling the analytic curve at every way and hulling it costs ~50 µs per
 /// app, and every experiment needs it for the same handful of profiles, so
-/// the result is memoized per thread (no locking; a pure function of the
-/// arguments) and shared by `Arc` — the interval loop scales it into a
-/// reusable buffer instead of cloning it.
-fn exact_ratio_hull(p: &Profile, unit: u64, units: usize) -> Arc<MissCurve> {
-    use std::cell::RefCell;
-    use std::collections::HashMap;
-    thread_local! {
-        static CACHE: RefCell<HashMap<String, Arc<MissCurve>>> = RefCell::new(HashMap::new());
-    }
-    let key = format!("{p:?}|{unit}|{units}");
-    if let Some(c) = CACHE.with(|c| c.borrow().get(&key).cloned()) {
-        return c;
-    }
+/// the result is memoized process-wide (see [`RATIO_HULLS`]) and shared by
+/// `Arc` — the interval loop scales it into a reusable buffer instead of
+/// cloning it. Bit-identical to [`compute_ratio_hull`] by construction: the
+/// memo stores the uncached function's output, keyed by the full input.
+pub fn exact_ratio_hull(p: &Profile, unit: u64, units: usize) -> Arc<MissCurve> {
+    let key = nuca_types::hash::fingerprint128(format!("{p:?}|{unit}|{units}").as_bytes());
+    RATIO_HULLS.get_or_compute(key, || Arc::new(compute_ratio_hull(p, unit, units)))
+}
+
+/// The uncached reference computation behind [`exact_ratio_hull`]: sample
+/// the analytic miss-ratio curve at every allocation unit and take the
+/// convex hull. Exposed so regression tests can prove the memoized path is
+/// bit-identical to recomputation.
+pub fn compute_ratio_hull(p: &Profile, unit: u64, units: usize) -> MissCurve {
     let pts: Vec<f64> = (0..=units)
         .map(|u| p.miss_ratio((u as u64 * unit) as f64))
         .collect();
-    let hull = Arc::new(MissCurve::new(unit, pts).convex_hull());
-    CACHE.with(|c| c.borrow_mut().insert(key, Arc::clone(&hull)));
-    hull
+    MissCurve::new(unit, pts).convex_hull()
+}
+
+/// Hit/miss/entry counters of the process-wide ratio-hull memo.
+pub fn ratio_hull_cache_stats() -> nuca_types::MapStats {
+    RATIO_HULLS.stats()
 }
 
 #[cfg(test)]

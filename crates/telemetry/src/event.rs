@@ -88,6 +88,19 @@ pub enum Event {
         /// Job duration in µs.
         dur_us: u64,
     },
+    /// Hit/miss/entry counters of one shared computation cache, emitted
+    /// when a suite or figure run finishes so traces record how much work
+    /// deduplication saved.
+    CacheStats {
+        /// Which cache the counters describe (e.g. `"runs"`, `"hulls"`).
+        scope: &'static str,
+        /// Lookups served from an already-computed entry.
+        hits: u64,
+        /// Lookups that computed (or stored) a fresh entry.
+        misses: u64,
+        /// Entries resident at snapshot time.
+        entries: u64,
+    },
     /// Per-bank contention counters from one detailed-simulator run.
     DetailBank {
         /// Bank index.
@@ -111,6 +124,7 @@ impl Event {
             Event::Allocation { .. } => "allocation",
             Event::RunSummary { .. } => "run_summary",
             Event::WorkerSpan { .. } => "worker_span",
+            Event::CacheStats { .. } => "cache_stats",
             Event::DetailBank { .. } => "detail_bank",
         }
     }
@@ -190,6 +204,17 @@ impl Event {
                 uint(&mut s, "job", *job as u64);
                 uint(&mut s, "start_us", *start_us);
                 uint(&mut s, "dur_us", *dur_us);
+            }
+            Event::CacheStats {
+                scope,
+                hits,
+                misses,
+                entries,
+            } => {
+                string(&mut s, "scope", scope);
+                uint(&mut s, "hits", *hits);
+                uint(&mut s, "misses", *misses);
+                uint(&mut s, "entries", *entries);
             }
             Event::DetailBank {
                 bank,
@@ -374,5 +399,22 @@ mod tests {
         assert_eq!(bank.kind(), "detail_bank");
         assert!(span.to_json().contains("\"event\":\"worker_span\""));
         assert!(bank.to_json().contains("\"event\":\"detail_bank\""));
+    }
+
+    #[test]
+    fn cache_stats_event_renders_counters() {
+        let e = Event::CacheStats {
+            scope: "runs",
+            hits: 12,
+            misses: 4,
+            entries: 4,
+        };
+        assert_eq!(e.kind(), "cache_stats");
+        let j = e.to_json();
+        assert!(j.starts_with("{\"event\":\"cache_stats\""), "{j}");
+        assert!(j.contains("\"scope\":\"runs\""), "{j}");
+        assert!(j.contains("\"hits\":12"), "{j}");
+        assert!(j.contains("\"misses\":4"), "{j}");
+        assert!(j.contains("\"entries\":4"), "{j}");
     }
 }

@@ -32,11 +32,13 @@ mod config;
 pub mod error;
 pub mod hash;
 mod ids;
+pub mod shard;
 pub mod time;
 pub mod topology;
 
 pub use config::{CacheLevelConfig, EnergyConfig, LlcConfig, MemConfig, NocConfig, SystemConfig};
 pub use error::{ConfigError, Error};
 pub use ids::{AppId, BankId, CoreId, PageId, VmId, WayCount};
+pub use shard::{MapStats, ShardedMap};
 pub use time::{Cycles, Seconds};
 pub use topology::{Mesh, TileCoord};

@@ -17,8 +17,9 @@ cargo fmt --all -- --check
 echo "== cargo clippy (all targets, warnings are errors)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "== cargo clippy (telemetry + bench crates, explicit gate)"
-cargo clippy --offline -p jumanji-telemetry -p jumanji-bench --all-targets -- -D warnings
+echo "== cargo clippy (types + sim + telemetry + bench crates, explicit gate)"
+cargo clippy --offline -p nuca-types -p nuca-sim -p jumanji-telemetry -p jumanji-bench \
+    --all-targets -- -D warnings
 
 echo "== cargo build --release"
 cargo build --offline --release
@@ -31,6 +32,9 @@ cargo test --offline --release -p jumanji --test golden_trace
 
 echo "== golden-analytic regression (epoch engine vs pre-refactor fixtures)"
 cargo test --offline --release -p jumanji --test golden_analytic
+
+echo "== suite golden regression (full fig13/fig14 matrix, gated tests on)"
+JUMANJI_SUITE_GOLDEN=1 cargo test --offline --release -p jumanji-bench --test suite_golden
 
 echo "== cargo bench smoke (one iteration per benchmark, no statistics)"
 JUMANJI_BENCH_SMOKE=1 cargo bench --offline
@@ -51,6 +55,27 @@ cmp "$tmp/v1.tsv" "$tmp/v4.tsv"
 ./target/release/fig02 --threads 1 >"$tmp/f1.tsv"
 ./target/release/fig02 --threads 4 >"$tmp/f4.tsv"
 cmp "$tmp/f1.tsv" "$tmp/f4.tsv"
+
+echo "== suite output is byte-identical to the standalone binaries"
+./target/release/fig13 --mixes 2 --threads 1 >"$tmp/s13.tsv"
+./target/release/fig14 --mixes 2 --threads 1 >"$tmp/s14.tsv"
+./target/release/suite --figures fig13,fig14 --mixes 2 --threads 1 \
+    --out "$tmp/suite_t1" 2>"$tmp/suite_t1.log"
+cmp "$tmp/suite_t1/fig13.tsv" "$tmp/s13.tsv"
+cmp "$tmp/suite_t1/fig14.tsv" "$tmp/s14.tsv"
+./target/release/suite --figures fig13,fig14 --mixes 2 --threads 4 \
+    --out "$tmp/suite_t4" 2>/dev/null
+cmp "$tmp/suite_t4/fig13.tsv" "$tmp/s13.tsv"
+cmp "$tmp/suite_t4/fig14.tsv" "$tmp/s14.tsv"
+
+echo "== suite dedups cells across figures (fig14 reuses fig13's runs)"
+grep -Eq 'cells: [0-9]+ computed, [1-9][0-9]* reused' "$tmp/suite_t1.log"
+
+echo "== --no-cache output is byte-identical to the cached suite"
+./target/release/suite --figures fig13,fig14 --mixes 2 --threads 1 \
+    --no-cache --out "$tmp/suite_nc" 2>/dev/null
+cmp "$tmp/suite_nc/fig13.tsv" "$tmp/s13.tsv"
+cmp "$tmp/suite_nc/fig14.tsv" "$tmp/s14.tsv"
 
 echo "== every figure binary runs at --mixes 1 (spec-wrapper smoke test)"
 for fig in fig02 fig04 fig05 fig08 fig09 fig11 fig12 fig13 fig14 fig15 \
