@@ -1,47 +1,55 @@
-//! One-process suite runner: renders any subset of the 18 figures over
-//! the shared [`CellCache`], so identical experiment cells are computed
-//! once and every figure renders from the cached result.
+//! One-process suite runner: plans every requested figure, unions the
+//! plans into one deduplicated work graph, executes it on a
+//! work-stealing pool, and streams each figure's TSV the moment its last
+//! cell completes (see [`jumanji_bench::suite`]).
 //!
 //! fig13 and fig14 run the *same* experiment matrix and differ only in
 //! rendering; the sensitivity study's default rows duplicate the
-//! main-results cells; the ablation re-runs case-study seeds. Running
-//! them in one process turns all of that duplicated simulation into
-//! cache hits — with byte-identical TSVs, enforced by the golden tests
-//! and `scripts/verify.sh`.
+//! main-results cells; the ablation re-runs case-study seeds. The work
+//! graph computes each unique cell exactly once *before* any figure
+//! renders — with byte-identical TSVs at every thread count, enforced by
+//! the golden tests, `tests/sched_identity.rs`, and `scripts/verify.sh`.
 //!
 //! Usage:
 //!
 //! ```text
-//! suite [--figures fig13,fig14,…] [--out DIR] [--stats PATH]
+//! suite [--figures all|fig13,fig14,…] [--out DIR] [--stats PATH]
 //!       [--mixes N] [--threads N] [--seed N] [--accesses N]
-//!       [--trace PATH] [--no-cache]
+//!       [--trace PATH] [--no-cache] [--sequential]
 //! ```
 //!
-//! - `--figures` — comma-separated [`FigureKind`] names (default: all 18,
-//!   in figure order).
+//! - `--figures` — comma-separated [`FigureKind`] names, or `all` for
+//!   all 18 in figure order (also the default). Repeats are deduplicated
+//!   silently.
 //! - `--out DIR` — write each figure to `DIR/<name>.tsv` (created if
 //!   missing) instead of concatenating everything to stdout.
-//! - `--stats PATH` — write a JSON cache-statistics report.
+//! - `--stats PATH` — write a JSON cache/scheduler statistics report.
 //! - `--mixes` / `--threads` / `--seed` / `--accesses` — forwarded to
 //!   every figure exactly as the standalone binaries resolve them
 //!   (CLI beats `JUMANJI_*` env beats the per-figure default).
+//!   `--threads` also sizes the work-stealing pool.
 //! - `--trace PATH` — one shared JSONL sink for the whole suite (also
-//!   honours `JUMANJI_TRACE`); note tracing bypasses cache *reads*.
-//! - `--no-cache` — disable the shared cache: every cell computes fresh.
+//!   honours `JUMANJI_TRACE`); each unique cell's event stream is
+//!   emitted exactly once.
+//! - `--no-cache` — disable the shared cache: every cell computes fresh
+//!   (this forces the sequential path; scheduling into a disabled cache
+//!   would be pure waste).
+//! - `--sequential` — render figures one at a time without the work
+//!   graph (the A/B baseline `timings` measures against).
 //!
 //! Per-figure timing and cache-delta lines go to stderr; exit codes match
 //! the figure binaries (usage → 2, runtime → 1).
 
-use jumanji::telemetry::{Event, JsonlSink, Telemetry};
+use jumanji::telemetry::{Event, JsonlSink, NoopSink, Telemetry};
 use jumanji::types::Error;
 use jumanji_bench::cell_cache::{apply_cache_flags, CellCache, CellCacheStats};
 use jumanji_bench::exec::flag_value;
-use jumanji_bench::{run_spec_to, ExperimentSpec, FigureKind};
+use jumanji_bench::suite::{run_suite, SchedReport, SuiteFigure};
+use jumanji_bench::{ExperimentSpec, FigureKind};
 use std::io::{BufWriter, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// One figure's timing and cache-delta report.
 struct FigureReport {
@@ -51,7 +59,11 @@ struct FigureReport {
     reused: u64,
 }
 
-/// The figures to run: `--figures a,b,c` or all 18 in figure order.
+/// The figures to run: `--figures a,b,c` with `all` as shorthand for
+/// the full 18-figure sweep (also the default). Repeated names are
+/// deduplicated silently — the work graph would dedupe their cells
+/// anyway, and rendering the same figure twice in one suite is never
+/// what the caller meant.
 fn parse_figures(args: &[String]) -> Result<Vec<FigureKind>, Error> {
     let Some(list) = flag_value(args, "--figures") else {
         return Ok(FigureKind::all().to_vec());
@@ -59,13 +71,24 @@ fn parse_figures(args: &[String]) -> Result<Vec<FigureKind>, Error> {
     if list.is_empty() {
         return Err(Error::flag("--figures", "expected a value"));
     }
-    list.split(',')
-        .map(|name| {
-            let name = name.trim();
-            FigureKind::from_name(name)
-                .ok_or_else(|| Error::flag("--figures", format!("unknown figure `{name}`")))
-        })
-        .collect()
+    let mut out = Vec::new();
+    for name in list.split(',') {
+        let name = name.trim();
+        if name == "all" {
+            for kind in FigureKind::all() {
+                if !out.contains(&kind) {
+                    out.push(kind);
+                }
+            }
+            continue;
+        }
+        let kind = FigureKind::from_name(name)
+            .ok_or_else(|| Error::flag("--figures", format!("unknown figure `{name}`")))?;
+        if !out.contains(&kind) {
+            out.push(kind);
+        }
+    }
+    Ok(out)
 }
 
 /// The shared trace sink, if tracing: `--trace PATH` beats
@@ -95,6 +118,7 @@ fn write_stats(
     reports: &[FigureReport],
     total_seconds: f64,
     stats: &CellCacheStats,
+    sched: Option<&SchedReport>,
 ) -> std::io::Result<()> {
     let mut f = BufWriter::new(std::fs::File::create(path)?);
     let (computed, reused) = cells_of(stats);
@@ -129,9 +153,28 @@ fn write_stats(
     )?;
     writeln!(
         f,
-        "  \"hulls\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}}}",
-        stats.hulls.hits, stats.hulls.misses, stats.hulls.entries
+        "  \"allocs\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}}},",
+        stats.allocs.hits, stats.allocs.misses, stats.allocs.entries
     )?;
+    writeln!(
+        f,
+        "  \"hulls\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}}}{}",
+        stats.hulls.hits,
+        stats.hulls.misses,
+        stats.hulls.entries,
+        if sched.is_some() { "," } else { "" }
+    )?;
+    if let Some(s) = sched {
+        writeln!(f, "  \"sched\": {{")?;
+        writeln!(f, "    \"planned_runs\": {},", s.planned_runs)?;
+        writeln!(f, "    \"nodes\": {},", s.nodes)?;
+        writeln!(f, "    \"edges\": {},", s.edges)?;
+        writeln!(f, "    \"workers\": {},", s.graph.workers)?;
+        writeln!(f, "    \"steals\": {},", s.graph.steals)?;
+        writeln!(f, "    \"critical_path_us\": {},", s.graph.critical_path_us)?;
+        writeln!(f, "    \"elapsed_us\": {}", s.graph.elapsed_us)?;
+        writeln!(f, "  }}")?;
+    }
     writeln!(f, "}}")?;
     f.flush()
 }
@@ -141,48 +184,55 @@ fn run(args: &[String]) -> Result<(), Error> {
     let figures = parse_figures(args)?;
     let out_dir = flag_value(args, "--out").map(PathBuf::from);
     let stats_path = flag_value(args, "--stats").map(PathBuf::from);
+    let sequential = args.iter().any(|a| a == "--sequential");
     let sink = trace_sink(args)?;
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir)?;
     }
 
-    let cache = CellCache::global();
-    let mut reports = Vec::with_capacity(figures.len());
-    let suite_start = Instant::now();
-    for kind in figures {
-        let mut spec = ExperimentSpec::from_args_env(kind)?;
-        if let Some(sink) = &sink {
-            // One shared sink for the whole suite; the per-figure trace
-            // path (same for every figure) would truncate on each open.
+    let specs = figures
+        .iter()
+        .map(|&kind| {
+            // The suite owns telemetry (one shared sink) and rendering;
+            // clear the per-figure trace so figures don't truncate each
+            // other's streams.
+            let mut spec = ExperimentSpec::from_args_env(kind)?;
             spec.trace = None;
-            spec.telemetry = Some(Arc::clone(sink) as Arc<dyn Telemetry>);
-        }
-        let before = cells_of(&cache.stats());
-        let start = Instant::now();
+            spec.telemetry = None;
+            Ok(spec)
+        })
+        .collect::<Result<Vec<_>, Error>>()?;
+    let threads = specs.first().map_or(1, |s| s.threads);
+    let tel: &dyn Telemetry = match &sink {
+        Some(s) => s.as_ref(),
+        None => &NoopSink,
+    };
+
+    let cache = CellCache::global();
+    let mut reports = Vec::with_capacity(specs.len());
+    let mut emit = |fig: SuiteFigure| -> Result<(), Error> {
         if let Some(dir) = &out_dir {
-            let path = dir.join(format!("{}.tsv", kind.name()));
-            let mut out = BufWriter::new(std::fs::File::create(&path)?);
-            run_spec_to(&spec, &mut out)?;
+            let path = dir.join(format!("{}.tsv", fig.kind.name()));
+            std::fs::write(&path, &fig.bytes)?;
         } else {
             let stdout = std::io::stdout();
-            let mut out = stdout.lock();
-            run_spec_to(&spec, &mut out)?;
+            stdout.lock().write_all(&fig.bytes)?;
         }
-        let seconds = start.elapsed().as_secs_f64();
-        let after = cells_of(&cache.stats());
         let report = FigureReport {
-            name: kind.name(),
-            seconds,
-            computed: after.0 - before.0,
-            reused: after.1 - before.1,
+            name: fig.kind.name(),
+            seconds: fig.seconds,
+            computed: fig.computed,
+            reused: fig.reused,
         };
         eprintln!(
             "[suite] {}: {:.2}s ({} cells computed, {} reused)",
             report.name, report.seconds, report.computed, report.reused
         );
         reports.push(report);
-    }
-    let total_seconds = suite_start.elapsed().as_secs_f64();
+        Ok(())
+    };
+    let summary = run_suite(&specs, threads, sequential, tel, &mut emit)?;
+    let total_seconds = summary.total_seconds;
 
     let stats = cache.stats();
     let (computed, reused) = cells_of(&stats);
@@ -197,6 +247,19 @@ fn run(args: &[String]) -> Result<(), Error> {
          hulls: {} computed, {} reused",
         total_seconds, computed, reused, reuse_pct, stats.hulls.misses, stats.hulls.hits
     );
+    if let Some(s) = &summary.sched {
+        eprintln!(
+            "[suite] sched: {} nodes ({} planned runs), {} edges, {} workers, \
+             {} steals, critical path {:.2}s of {:.2}s",
+            s.nodes,
+            s.planned_runs,
+            s.edges,
+            s.graph.workers,
+            s.graph.steals,
+            s.graph.critical_path_us as f64 / 1e6,
+            s.graph.elapsed_us as f64 / 1e6
+        );
+    }
 
     if let Some(sink) = &sink {
         for (scope, m) in [
@@ -215,7 +278,13 @@ fn run(args: &[String]) -> Result<(), Error> {
         sink.flush()?;
     }
     if let Some(path) = &stats_path {
-        write_stats(path, &reports, total_seconds, &stats)?;
+        write_stats(
+            path,
+            &reports,
+            total_seconds,
+            &stats,
+            summary.sched.as_ref(),
+        )?;
     }
     Ok(())
 }

@@ -138,6 +138,78 @@ fn suite_timing(bin_dir: &Path, out_dir: &Path, threads: usize) -> (f64, u64, u6
     (secs, computed, reused)
 }
 
+/// Scheduler A/B measurements over the [`SUITE`] figure set.
+struct SchedTiming {
+    threads: usize,
+    seconds: f64,
+    sequential_seconds: f64,
+    planned_runs: u64,
+    nodes: u64,
+    edges: u64,
+    steals: u64,
+    critical_path_us: u64,
+    elapsed_us: u64,
+}
+
+/// Runs the `suite` binary over [`SUITE`] twice at a fixed `--threads 4`
+/// — once through the work-graph scheduler, once `--sequential` — in
+/// separate processes (cold caches both), asserts the TSVs are
+/// byte-identical, and returns both wall-clocks plus the scheduler's
+/// own stats.
+fn sched_timing(bin_dir: &Path, out_dir: &Path) -> SchedTiming {
+    const THREADS: usize = 4;
+    let run = |mode_dir: &Path, stats: Option<&Path>, sequential: bool| -> f64 {
+        let mut cmd = Command::new(bin_dir.join("suite"));
+        cmd.args(["--figures", &SUITE.join(",")])
+            .args(["--mixes", &SUITE_MIXES.to_string()])
+            .args(["--threads", &THREADS.to_string()])
+            .args(["--out".as_ref(), mode_dir.as_os_str()]);
+        if let Some(stats) = stats {
+            cmd.args(["--stats".as_ref(), stats.as_os_str()]);
+        }
+        if sequential {
+            cmd.arg("--sequential");
+        }
+        let t = Instant::now();
+        let status = cmd
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn suite: {e}"));
+        assert!(status.success(), "suite exited with {status}");
+        t.elapsed().as_secs_f64()
+    };
+
+    let sched_dir = out_dir.join("sched_tsv");
+    let seq_dir = out_dir.join("sched_seq_tsv");
+    let stats_path = out_dir.join("sched_stats.json");
+    let seconds = run(&sched_dir, Some(&stats_path), false);
+    let sequential_seconds = run(&seq_dir, None, true);
+    for name in SUITE {
+        let a = std::fs::read(sched_dir.join(format!("{name}.tsv"))).expect("scheduled tsv");
+        let b = std::fs::read(seq_dir.join(format!("{name}.tsv"))).expect("sequential tsv");
+        assert_eq!(a, b, "{name}: scheduled and sequential TSVs differ");
+    }
+    let stats = std::fs::read_to_string(&stats_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", stats_path.display()));
+    let field = |key: &str| read_number(&stats, key).unwrap_or_else(|| panic!("missing {key}"));
+    let timing = SchedTiming {
+        threads: THREADS,
+        seconds,
+        sequential_seconds,
+        planned_runs: field("\"planned_runs\":") as u64,
+        nodes: field("\"nodes\":") as u64,
+        edges: field("\"edges\":") as u64,
+        steals: field("\"steals\":") as u64,
+        critical_path_us: field("\"critical_path_us\":") as u64,
+        elapsed_us: field("\"elapsed_us\":") as u64,
+    };
+    let _ = std::fs::remove_dir_all(&sched_dir);
+    let _ = std::fs::remove_dir_all(&seq_dir);
+    let _ = std::fs::remove_file(&stats_path);
+    timing
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let out_dir = flag_value(&args, "--out").map_or_else(|| PathBuf::from("."), PathBuf::from);
@@ -178,6 +250,19 @@ fn main() {
         "suite: {suite_secs:.2}s ({:.2}x vs summed standalone; {cells_computed} cells computed, \
          {cells_reused} reused)",
         total / suite_secs
+    );
+
+    let sched = sched_timing(&bin_dir, &out_dir);
+    eprintln!(
+        "sched: {:.2}s scheduled vs {:.2}s sequential at {} threads \
+         ({:.2}x; {} nodes, {} steals, critical path {:.2}s)",
+        sched.seconds,
+        sched.sequential_seconds,
+        sched.threads,
+        sched.sequential_seconds / sched.seconds,
+        sched.nodes,
+        sched.steals,
+        sched.critical_path_us as f64 / 1e6
     );
 
     let (detail_accesses, detail_rate) = detail_throughput();
@@ -245,6 +330,24 @@ fn main() {
          \"speedup_vs_standalone\": {:.2},\n    \"dedup_cells_computed\": {cells_computed},\n    \
          \"dedup_cells_reused\": {cells_reused},\n    \"dedup_reuse_rate\": {reuse_rate:.4}\n",
         total / suite_secs
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"sched\": {\n");
+    json.push_str(&format!(
+        "    \"threads\": {},\n    \"seconds\": {:.3},\n    \
+         \"sequential_seconds\": {:.3},\n    \"speedup_vs_sequential\": {:.2},\n    \
+         \"planned_runs\": {},\n    \"nodes\": {},\n    \"edges\": {},\n    \
+         \"steals\": {},\n    \"critical_path_us\": {},\n    \"elapsed_us\": {}\n",
+        sched.threads,
+        sched.seconds,
+        sched.sequential_seconds,
+        sched.sequential_seconds / sched.seconds,
+        sched.planned_runs,
+        sched.nodes,
+        sched.edges,
+        sched.steals,
+        sched.critical_path_us,
+        sched.elapsed_us
     ));
     json.push_str("  },\n");
     json.push_str(&format!("  \"total_seconds\": {total:.3}"));

@@ -39,6 +39,20 @@ use jumanji::workloads::{LcLoad, WorkloadMix};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
+/// The cache identity of an experiment: a 128-bit content fingerprint of
+/// `(mix, load, opts)`. This is the key [`CellCache::experiment`] files
+/// entries under, exposed so the suite's plan pass ([`crate::plan`]) can
+/// name a cell without constructing it.
+pub fn experiment_key(mix: &WorkloadMix, load: LcLoad, opts: &SimOptions) -> u128 {
+    fingerprint128(format!("exp|{load:?}|{opts:?}|{mix:?}").as_bytes())
+}
+
+/// The cache identity of a completed `(experiment, design)` run cell —
+/// the key [`CellCache::run`] files results under.
+pub fn run_key(experiment_key: u128, design: DesignKind) -> u128 {
+    fingerprint128(format!("run|{experiment_key:032x}|{design:?}").as_bytes())
+}
+
 /// A constructed experiment plus the cache identity it was filed under
 /// (`None` when the cache is disabled, so downstream run lookups also
 /// compute fresh).
@@ -136,7 +150,7 @@ impl CellCache {
                 key: None,
             };
         }
-        let key = fingerprint128(format!("exp|{load:?}|{opts:?}|{mix:?}").as_bytes());
+        let key = experiment_key(&mix, load, &opts);
         let exp = self
             .experiments
             .get_or_compute(key, || Arc::new(Experiment::new(mix, load, opts)));
@@ -163,7 +177,7 @@ impl CellCache {
         let Some(base) = handle.key else {
             return Arc::new(handle.exp.run_traced(design, tel));
         };
-        let key = fingerprint128(format!("run|{base:032x}|{design:?}").as_bytes());
+        let key = run_key(base, design);
         if tel.enabled() {
             let result = Arc::new(handle.exp.run_traced(design, tel));
             self.runs.insert(key, Arc::clone(&result));

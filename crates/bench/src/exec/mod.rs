@@ -13,11 +13,16 @@
 //!   how cells spread across the pool.
 //! - [`thread_count`] / [`resolve_count`] / [`flag_value`] — worker-count
 //!   and knob resolution (`--flag N` beats the env var beats the default).
+//! - [`sched`] — the dependency-aware work-graph scheduler the `suite`
+//!   binary executes its deduplicated cross-figure plan on: per-worker
+//!   deques, steal-half work stealing, long-pole-first ordering.
 //!
 //! Determinism: every job derives its RNG streams from its own index, and
 //! results land in slots addressed by that index, so output is
 //! byte-identical no matter how many workers run or how the scheduler
 //! interleaves them. `--threads 1` is the reference serial order.
+
+pub mod sched;
 
 use jumanji::telemetry::{Event, NoopSink, Telemetry};
 use std::sync::atomic::{AtomicUsize, Ordering};

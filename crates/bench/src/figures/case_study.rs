@@ -336,20 +336,13 @@ fn fig09_run(
     (gmean(&speedups), worst_tail)
 }
 
-/// Fig. 9: sensitivity of Jumanji to the feedback controller's
-/// parameters — target latency range, panic threshold, and step size.
-/// Bars: gmean batch speedup; lines: worst normalized tail latency.
-pub fn fig09(spec: &ExperimentSpec, tel: &dyn Telemetry, out: &mut dyn Write) -> Result<(), Error> {
-    let mixes = spec.mixes;
-    let base_opts = sim_opts(spec);
+/// The Fig. 9 controller-parameter grid: `(group, label, params)` rows
+/// in plotting order. Shared by the renderer and the suite's plan pass
+/// ([`super::plan`]) so both enumerate identical experiment cells.
+pub(crate) fn fig09_cases() -> Vec<(&'static str, &'static str, ControllerParams)> {
     let llc = SystemConfig::micro2020().llc.total_bytes() as f64;
     let base = ControllerParams::micro2020(llc);
-    writeln!(
-        out,
-        "# Fig. 9: controller parameter sensitivity ({mixes} mixes, case study)"
-    )?;
-    writeln!(out, "group\tvariant\tgmean_speedup_pct\tworst_norm_tail")?;
-    let cases: Vec<(&str, &str, ControllerParams)> = vec![
+    vec![
         (
             "target",
             "75-85%",
@@ -389,8 +382,21 @@ pub fn fig09(spec: &ExperimentSpec, tel: &dyn Telemetry, out: &mut dyn Write) ->
         ("step", "5%", ControllerParams { step: 0.05, ..base }),
         ("step", "10% (default)", base),
         ("step", "20%", ControllerParams { step: 0.20, ..base }),
-    ];
-    for (group, label, params) in cases {
+    ]
+}
+
+/// Fig. 9: sensitivity of Jumanji to the feedback controller's
+/// parameters — target latency range, panic threshold, and step size.
+/// Bars: gmean batch speedup; lines: worst normalized tail latency.
+pub fn fig09(spec: &ExperimentSpec, tel: &dyn Telemetry, out: &mut dyn Write) -> Result<(), Error> {
+    let mixes = spec.mixes;
+    let base_opts = sim_opts(spec);
+    writeln!(
+        out,
+        "# Fig. 9: controller parameter sensitivity ({mixes} mixes, case study)"
+    )?;
+    writeln!(out, "group\tvariant\tgmean_speedup_pct\tworst_norm_tail")?;
+    for (group, label, params) in fig09_cases() {
         let (speedup, tail) = fig09_run(params, mixes, &base_opts, tel);
         writeln!(
             out,

@@ -20,6 +20,7 @@ use std::io::Write;
 mod attacks;
 mod case_study;
 mod main_results;
+pub mod plan;
 mod scaling;
 mod studies;
 mod tables;

@@ -1,0 +1,364 @@
+//! The figures' *plan* phase: enumerate a figure's experiment cells
+//! without computing any of them.
+//!
+//! Every renderer in this directory ultimately reads `(experiment,
+//! design)` cells through the [`CellCache`](crate::cell_cache::CellCache).
+//! [`of`] produces, for a resolved [`ExperimentSpec`], the exact cell
+//! descriptors that figure's render pass will look up — same mixes, same
+//! option derivation, same designs — so the suite can union the plans of
+//! many figures into one deduplicated work graph *before* any compute.
+//!
+//! Identity is load-bearing: a planned cell must hash to the same
+//! [`experiment_key`](crate::cell_cache::experiment_key) /
+//! [`run_key`](crate::cell_cache::run_key) the render's lookups use, or
+//! the render recomputes it (correct but slow). The enumeration
+//! therefore calls the *same* helpers the renderers call —
+//! [`mix_cell_inputs`](crate::mix_cell_inputs),
+//! [`fig09_cases`](super::case_study::fig09_cases),
+//! [`fig17_mix`](super::scaling::fig17_mix),
+//! [`sensitivity_jobs`](super::studies::sensitivity_jobs) — instead of
+//! transcribing their logic. `tests/plan_coverage.rs` pins the contract:
+//! after executing a figure's plan, its render computes zero new cells.
+//!
+//! Figures with no analytic cells to pre-compute (the detailed-simulator
+//! studies fig02/validate, the closed-form fig08, the attack demos, the
+//! config tables) return an empty plan; the suite renders them directly.
+//!
+//! Cost priors ([`experiment_cost`], [`run_cost`]) feed the scheduler's
+//! long-pole-first ordering. They are *relative* weights calibrated from
+//! the `timings` probes (an analytic run costs about one interval-unit
+//! per reconfiguration interval; placement-solving designs cost more per
+//! interval; experiment construction about half a Static run), not
+//! wall-clock predictions — only their ordering matters.
+
+use super::{groups_by_load, sim_opts};
+use crate::spec::{ExperimentSpec, FigureKind};
+use crate::{mix_cell_inputs, LcGroup};
+use jumanji::prelude::*;
+use jumanji::types::{Error, Seconds};
+use jumanji::workloads::WorkloadMix;
+
+/// One experiment cell a figure's render will look up: the experiment's
+/// construction inputs plus every design the figure runs on it.
+#[derive(Debug, Clone)]
+pub struct CellPlan {
+    /// The workload mix, exactly as the render constructs it.
+    pub mix: WorkloadMix,
+    /// Latency-critical load level.
+    pub load: LcLoad,
+    /// Simulation options, after the render's seed derivation.
+    pub opts: SimOptions,
+    /// Designs the figure runs on this experiment (duplicates allowed;
+    /// the graph dedups).
+    pub designs: Vec<DesignKind>,
+}
+
+impl CellPlan {
+    /// The cache identity of this cell's experiment.
+    pub fn experiment_key(&self) -> u128 {
+        crate::cell_cache::experiment_key(&self.mix, self.load, &self.opts)
+    }
+}
+
+/// A figure's full cell enumeration.
+#[derive(Debug, Clone)]
+pub struct FigurePlan {
+    /// The figure this plan describes.
+    pub kind: FigureKind,
+    /// Its cells, in the render's lookup order.
+    pub cells: Vec<CellPlan>,
+}
+
+impl FigurePlan {
+    /// Total design runs across cells (before any deduplication).
+    pub fn runs(&self) -> usize {
+        self.cells.iter().map(|c| c.designs.len()).sum()
+    }
+}
+
+/// Relative cost prior of constructing an experiment (profile hulls,
+/// deadline isolation runs, stream generators): about half a Static run
+/// of the same horizon in the `timings` probes.
+pub fn experiment_cost(opts: &SimOptions) -> f64 {
+    0.5 * run_cost(opts, DesignKind::Static)
+}
+
+/// Relative cost prior of running `design` on an experiment with
+/// `opts`: one unit per reconfiguration interval, scaled up for designs
+/// that solve a placement every interval.
+pub fn run_cost(opts: &SimOptions, design: DesignKind) -> f64 {
+    let intervals = (opts.duration.as_f64() / opts.reconfig.as_f64()).max(1.0);
+    let factor = match design {
+        DesignKind::Static => 1.0,
+        DesignKind::Adaptive | DesignKind::VmPart => 1.15,
+        DesignKind::Jigsaw => 1.45,
+        DesignKind::Jumanji | DesignKind::JumanjiInsecure | DesignKind::JumanjiIdealBatch => 1.6,
+    };
+    intervals * factor
+}
+
+/// `designs` with the Static baseline prepended (the matrix engine
+/// always runs it for normalization) and duplicates dropped.
+fn with_baseline(designs: &[DesignKind]) -> Vec<DesignKind> {
+    let mut out = vec![DesignKind::Static];
+    for &d in designs {
+        if !out.contains(&d) {
+            out.push(d);
+        }
+    }
+    out
+}
+
+/// The plan of every figure built on the [`run_mix`](crate::run_mix)
+/// matrix engine: one cell per `(group, load, seed)`, Static baseline
+/// plus the spec's designs.
+fn matrix_cells(
+    matrices: &[(LcGroup, LcLoad)],
+    spec: &ExperimentSpec,
+) -> Result<Vec<CellPlan>, Error> {
+    let base = sim_opts(spec);
+    let designs = with_baseline(&spec.designs);
+    let mut cells = Vec::with_capacity(matrices.len() * spec.mixes);
+    for &(group, load) in matrices {
+        for seed in 0..spec.mixes as u64 {
+            let (mix, opts) = mix_cell_inputs(group, seed, &base)?;
+            cells.push(CellPlan {
+                mix,
+                load,
+                opts,
+                designs: designs.clone(),
+            });
+        }
+    }
+    Ok(cells)
+}
+
+/// Enumerates the cells `spec`'s render pass will look up, without
+/// computing any of them. Figures that pre-compute nothing through the
+/// cell cache return an empty plan.
+///
+/// # Errors
+///
+/// Returns [`Error::UnknownWorkload`] for specs naming unknown servers —
+/// the same error the render would hit, surfaced before any compute.
+pub fn of(spec: &ExperimentSpec) -> Result<FigurePlan, Error> {
+    use FigureKind::*;
+    let cells = match spec.kind {
+        Fig04 => {
+            let opts = SimOptions {
+                duration: Seconds(4.0),
+                ..sim_opts(spec)
+            };
+            vec![CellPlan {
+                mix: case_study_mix(spec.seed),
+                load: LcLoad::High,
+                opts,
+                designs: spec.designs.clone(),
+            }]
+        }
+        Fig05 => vec![CellPlan {
+            mix: case_study_mix(spec.seed),
+            load: LcLoad::High,
+            opts: sim_opts(spec),
+            designs: with_baseline(&spec.designs),
+        }],
+        Fig09 => {
+            let base_opts = sim_opts(spec);
+            let mut cells = Vec::new();
+            for (_, _, params) in super::case_study::fig09_cases() {
+                for seed in 0..spec.mixes as u64 {
+                    cells.push(CellPlan {
+                        mix: case_study_mix(seed),
+                        load: LcLoad::High,
+                        opts: SimOptions {
+                            controller: Some(params),
+                            ..base_opts.clone()
+                        },
+                        designs: vec![DesignKind::Static, DesignKind::Jumanji],
+                    });
+                }
+            }
+            cells
+        }
+        Fig13 | Fig14 | Fig16 => matrix_cells(&groups_by_load(&[LcLoad::High, LcLoad::Low]), spec)?,
+        Fig15 => {
+            let matrices: Vec<(LcGroup, LcLoad)> = LcGroup::all()
+                .into_iter()
+                .map(|g| (g, LcLoad::High))
+                .collect();
+            matrix_cells(&matrices, spec)?
+        }
+        Fig17 => {
+            let opts = sim_opts(spec);
+            let mut cells = Vec::new();
+            for (_, cfg_spec) in fig17_configs() {
+                for seed in 0..spec.mixes as u64 {
+                    cells.push(CellPlan {
+                        mix: super::scaling::fig17_mix(&cfg_spec, seed),
+                        load: LcLoad::High,
+                        opts: opts.clone(),
+                        designs: vec![DesignKind::Static, DesignKind::Jumanji],
+                    });
+                }
+            }
+            cells
+        }
+        Fig18 => {
+            let mut cells = Vec::new();
+            for router in [1u64, 2, 3] {
+                let mut cfg = SystemConfig::micro2020();
+                cfg.noc.router_cycles = router;
+                let opts = SimOptions {
+                    cfg,
+                    ..sim_opts(spec)
+                };
+                for seed in 0..spec.mixes as u64 {
+                    cells.push(CellPlan {
+                        mix: WorkloadMix::mixed_lc(seed),
+                        load: LcLoad::High,
+                        opts: opts.clone(),
+                        designs: vec![DesignKind::Static, DesignKind::Jumanji],
+                    });
+                }
+            }
+            cells
+        }
+        Ablation => {
+            let opts = sim_opts(spec);
+            let no_panic = super::studies::no_panic_params();
+            let mut cells = Vec::new();
+            for seed in 0..spec.mixes as u64 {
+                cells.push(CellPlan {
+                    mix: case_study_mix(seed),
+                    load: LcLoad::High,
+                    opts: opts.clone(),
+                    designs: vec![
+                        DesignKind::Static,
+                        DesignKind::Jumanji,
+                        DesignKind::JumanjiInsecure,
+                        DesignKind::JumanjiIdealBatch,
+                    ],
+                });
+                cells.push(CellPlan {
+                    mix: case_study_mix(seed),
+                    load: LcLoad::High,
+                    opts: SimOptions {
+                        controller: Some(no_panic),
+                        ..opts.clone()
+                    },
+                    designs: vec![DesignKind::Jumanji],
+                });
+            }
+            cells
+        }
+        Sensitivity => super::studies::sensitivity_jobs(spec.mixes)
+            .into_iter()
+            .map(|(mix, opts, _)| CellPlan {
+                mix,
+                load: LcLoad::High,
+                opts,
+                designs: vec![
+                    DesignKind::Static,
+                    DesignKind::Jumanji,
+                    DesignKind::Jigsaw,
+                    DesignKind::Adaptive,
+                ],
+            })
+            .collect(),
+        // No analytic cells to pre-compute: the detailed-sim studies,
+        // the closed-form queueing curve, the attack demos, the tables.
+        Fig02 | Fig08 | Fig11 | Fig12 | Table2 | Table3 | Validate => Vec::new(),
+    };
+    Ok(FigurePlan {
+        kind: spec.kind,
+        cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_figures_enumerate_groups_loads_and_seeds() {
+        let spec = ExperimentSpec::new(FigureKind::Fig13).mixes(3);
+        let plan = of(&spec).expect("plannable");
+        // 6 groups × 2 loads × 3 seeds.
+        assert_eq!(plan.cells.len(), 36);
+        // Static baseline + the four main designs per cell.
+        assert!(plan.cells.iter().all(|c| c.designs.len() == 5));
+        assert_eq!(plan.runs(), 180);
+        // Fig. 15 runs high load only, and its design list already
+        // includes Static — no double-count.
+        let spec15 = ExperimentSpec::new(FigureKind::Fig15).mixes(3);
+        let plan15 = of(&spec15).expect("plannable");
+        assert_eq!(plan15.cells.len(), 18);
+        assert!(plan15.cells.iter().all(|c| c.designs.len() == 5));
+    }
+
+    #[test]
+    fn fig13_and_fig14_plans_name_identical_cells() {
+        // The two figures run the same matrix and differ only in
+        // rendering — the whole point of cross-figure dedup.
+        let a = of(&ExperimentSpec::new(FigureKind::Fig13).mixes(2)).expect("plannable");
+        let b = of(&ExperimentSpec::new(FigureKind::Fig14).mixes(2)).expect("plannable");
+        let keys = |p: &FigurePlan| -> Vec<u128> {
+            p.cells.iter().map(CellPlan::experiment_key).collect()
+        };
+        assert_eq!(keys(&a), keys(&b));
+    }
+
+    #[test]
+    fn seed_changes_cell_identity() {
+        let a = of(&ExperimentSpec::new(FigureKind::Fig05)).expect("plannable");
+        let b = of(&ExperimentSpec::new(FigureKind::Fig05).seed(9)).expect("plannable");
+        assert_ne!(
+            a.cells[0].experiment_key(),
+            b.cells[0].experiment_key(),
+            "the spec seed flows into the mix and options"
+        );
+    }
+
+    #[test]
+    fn fig09_dedups_to_seven_unique_option_sets() {
+        // Nine grid rows, but the three "(default)" rows share the base
+        // parameters — the plan names them identically so the graph
+        // schedules each underlying cell once.
+        let plan = of(&ExperimentSpec::new(FigureKind::Fig09).mixes(1)).expect("plannable");
+        assert_eq!(plan.cells.len(), 9);
+        let mut keys: Vec<u128> = plan.cells.iter().map(CellPlan::experiment_key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 7);
+    }
+
+    #[test]
+    fn unplannable_figures_return_empty_plans() {
+        for kind in [
+            FigureKind::Fig02,
+            FigureKind::Fig08,
+            FigureKind::Fig11,
+            FigureKind::Fig12,
+            FigureKind::Table2,
+            FigureKind::Table3,
+            FigureKind::Validate,
+        ] {
+            let plan = of(&ExperimentSpec::new(kind)).expect("plan never fails here");
+            assert!(plan.cells.is_empty(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn cost_priors_order_designs_sensibly() {
+        let opts = SimOptions::default();
+        assert!(run_cost(&opts, DesignKind::Jumanji) > run_cost(&opts, DesignKind::Jigsaw));
+        assert!(run_cost(&opts, DesignKind::Jigsaw) > run_cost(&opts, DesignKind::Static));
+        assert!(experiment_cost(&opts) < run_cost(&opts, DesignKind::Static));
+        // Longer horizons cost proportionally more.
+        let long = SimOptions {
+            duration: Seconds(8.0),
+            ..SimOptions::default()
+        };
+        assert!(run_cost(&long, DesignKind::Static) > run_cost(&opts, DesignKind::Static));
+    }
+}

@@ -14,6 +14,18 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::io::Write;
 
+/// The workload mix one Fig. 17 `(config, seed)` cell simulates: four
+/// distinct LC servers (as in the Mixed group) drawn with the fig17 seed
+/// salt, grouped per the VM config spec. Shared by the renderer and the
+/// suite's plan pass ([`super::plan`]) so both name identical cells.
+pub(crate) fn fig17_mix(cfg_spec: &[(usize, usize)], seed: u64) -> WorkloadMix {
+    let mut pool = tailbench();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF17);
+    pool.shuffle(&mut rng);
+    pool.truncate(4);
+    WorkloadMix::from_spec(cfg_spec, &pool, seed)
+}
+
 /// Fig. 17: Jumanji's batch speedup as the 20 applications are grouped
 /// into 1 to 12 VMs (mixed latency-critical apps, high load).
 pub fn fig17(spec: &ExperimentSpec, tel: &dyn Telemetry, out: &mut dyn Write) -> Result<(), Error> {
@@ -30,12 +42,7 @@ pub fn fig17(spec: &ExperimentSpec, tel: &dyn Telemetry, out: &mut dyn Write) ->
     let jobs = parallel_map_traced(configs.len() * mixes, spec.threads, tel, |i| {
         let (_, cfg_spec) = &configs[i / mixes];
         let seed = (i % mixes) as u64;
-        // Four distinct LC servers, as in the Mixed group.
-        let mut pool = tailbench();
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xF17);
-        pool.shuffle(&mut rng);
-        pool.truncate(4);
-        let mix = WorkloadMix::from_spec(cfg_spec, &pool, seed);
+        let mix = fig17_mix(cfg_spec, seed);
         let cache = CellCache::global();
         let exp = cache.experiment(mix, LcLoad::High, opts.clone());
         let baseline = cache.run(&exp, DesignKind::Static, tel);

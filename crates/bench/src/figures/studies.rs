@@ -111,11 +111,7 @@ pub fn ablation(
     )?;
 
     // 4. Panic ablation: raise the threshold out of reach.
-    let llc = SystemConfig::micro2020().llc.total_bytes() as f64;
-    let no_panic = ControllerParams {
-        panic_threshold: f64::MAX,
-        ..ControllerParams::micro2020(llc)
-    };
+    let no_panic = no_panic_params();
     let tails = parallel_map_traced(mixes, threads, tel, |seed| {
         let cache = CellCache::global();
         let exp = cache.experiment(case_study_mix(seed as u64), LcLoad::High, opts.clone());
@@ -144,6 +140,18 @@ pub fn ablation(
     )?;
     writeln!(out, "# otherwise recover one 10% step per 100 ms).")?;
     Ok(())
+}
+
+/// The panic-disabled controller of ablation part 4: the paper's
+/// parameters with the panic threshold raised out of reach. Shared by
+/// the renderer and the suite's plan pass ([`super::plan`]) so both
+/// name the panic-ablation cells identically.
+pub(crate) fn no_panic_params() -> ControllerParams {
+    let llc = SystemConfig::micro2020().llc.total_bytes() as f64;
+    ControllerParams {
+        panic_threshold: f64::MAX,
+        ..ControllerParams::micro2020(llc)
+    }
 }
 
 struct Row {
@@ -177,32 +185,11 @@ fn sensitivity_run_one(
     }
 }
 
-/// Robustness of the reproduction's conclusions to its modeling
-/// constants.
-///
-/// The workload models involve calibrated constants the paper's real
-/// binaries fix implicitly (the pointer-chasing miss-serialization
-/// factor, simulated horizon, reconfiguration period, RNG seeds). This
-/// sweep shows the *qualitative* conclusions — Jumanji meets deadlines
-/// near Jigsaw's batch speedup while Jigsaw violates and S-NUCA designs
-/// gain nothing — hold across those choices.
-pub fn sensitivity(
-    spec: &ExperimentSpec,
-    tel: &dyn Telemetry,
-    out: &mut dyn Write,
-) -> Result<(), Error> {
-    let n = spec.mixes;
-    writeln!(
-        out,
-        "# Sensitivity of conclusions to modeling choices ({n} seeds each)"
-    )?;
-    writeln!(
-        out,
-        "knob\tvariant\tjumanji%\tjigsaw%\tadaptive%\tjumanji_tail\tjigsaw_tail"
-    )?;
-    // Job construction is cheap and deterministic; the expensive part
-    // (the four simulation runs per job) fans out across the thread
-    // pool, with results landing back in list order.
+/// The sensitivity sweep's job list for `n` seeds per knob:
+/// `(mix, options, label)` rows in sweep order. Shared by the renderer
+/// and the suite's plan pass ([`super::plan`]) so both enumerate
+/// identical cells. Construction is cheap and deterministic.
+pub(crate) fn sensitivity_jobs(n: usize) -> Vec<(WorkloadMix, SimOptions, String)> {
     let mut jobs: Vec<(WorkloadMix, SimOptions, String)> = Vec::new();
 
     // 1. Miss-serialization factor of the LC service model.
@@ -255,6 +242,35 @@ pub fn sensitivity(
             "seed\tvaried".to_string(),
         ));
     }
+    jobs
+}
+
+/// Robustness of the reproduction's conclusions to its modeling
+/// constants.
+///
+/// The workload models involve calibrated constants the paper's real
+/// binaries fix implicitly (the pointer-chasing miss-serialization
+/// factor, simulated horizon, reconfiguration period, RNG seeds). This
+/// sweep shows the *qualitative* conclusions — Jumanji meets deadlines
+/// near Jigsaw's batch speedup while Jigsaw violates and S-NUCA designs
+/// gain nothing — hold across those choices.
+pub fn sensitivity(
+    spec: &ExperimentSpec,
+    tel: &dyn Telemetry,
+    out: &mut dyn Write,
+) -> Result<(), Error> {
+    let n = spec.mixes;
+    writeln!(
+        out,
+        "# Sensitivity of conclusions to modeling choices ({n} seeds each)"
+    )?;
+    writeln!(
+        out,
+        "knob\tvariant\tjumanji%\tjigsaw%\tadaptive%\tjumanji_tail\tjigsaw_tail"
+    )?;
+    // The expensive part (the four simulation runs per job) fans out
+    // across the thread pool, with results landing back in list order.
+    let jobs = sensitivity_jobs(n);
 
     let rows: Vec<Row> = parallel_map_traced(jobs.len(), spec.threads, tel, |i| {
         let (mix, opts, label) = &jobs[i];

@@ -31,6 +31,7 @@ pub mod cell_cache;
 pub mod exec;
 pub mod figures;
 pub mod spec;
+pub mod suite;
 
 pub use cell_cache::{CellCache, CellCacheStats};
 pub use spec::{figure_main, run_spec, run_spec_to, ExperimentSpec, FigureKind};
@@ -255,6 +256,26 @@ impl LcGroup {
     }
 }
 
+/// The exact `(mix, options)` inputs a [`run_mix`] call for `seed`
+/// simulates — and therefore the content the [`CellCache`] keys its
+/// cells under. The suite's plan pass
+/// ([`figures::plan`](crate::figures::plan)) uses this to *name* a mix's
+/// cells without running them; keeping the derivation in one place
+/// guarantees the plan and the render agree byte-for-byte on cache keys.
+///
+/// # Errors
+///
+/// Returns [`Error::UnknownWorkload`] when the group names no server.
+pub fn mix_cell_inputs(
+    group: LcGroup,
+    seed: u64,
+    opts: &SimOptions,
+) -> Result<(WorkloadMix, SimOptions), Error> {
+    let mut opts = opts.clone();
+    opts.seed ^= seed.wrapping_mul(0x9E37_79B9);
+    Ok((group.mix(seed)?, opts))
+}
+
 /// Runs every design on one `(group, load)` mix, sharing a single Static
 /// baseline run. Returns per-design metrics in `designs` order.
 ///
@@ -297,9 +318,8 @@ pub fn run_mix_with(
     opts: &SimOptions,
     tel: &dyn Telemetry,
 ) -> Result<Vec<MixMetrics>, Error> {
-    let mut opts = opts.clone();
-    opts.seed ^= seed.wrapping_mul(0x9E37_79B9);
-    let exp = cache.experiment(group.mix(seed)?, load, opts);
+    let (mix, opts) = mix_cell_inputs(group, seed, opts)?;
+    let exp = cache.experiment(mix, load, opts);
     let baseline = cache.run(&exp, DesignKind::Static, tel);
     Ok(designs
         .iter()

@@ -1,0 +1,428 @@
+//! The cross-figure suite engine: plan → union → schedule → stream.
+//!
+//! [`run_suite`] turns a list of figure specs into TSVs through four
+//! phases:
+//!
+//! 1. **Plan.** Each figure enumerates its experiment cells without
+//!    computing them ([`figures::plan`]).
+//! 2. **Union.** The plans merge into one deduplicated work graph: one
+//!    node per unique experiment construction, one per unique
+//!    `(experiment, design)` run, keyed by the same content fingerprints
+//!    the [`CellCache`] uses. A cell shared by fig13/fig14/fig15 becomes
+//!    a single node, no matter how many figures want it.
+//! 3. **Schedule.** The graph executes on the work-stealing pool
+//!    ([`exec::sched`]), long poles first, writing every result through
+//!    the process-wide cache — exactly where the render pass (and the
+//!    standalone binaries) will look.
+//! 4. **Stream.** Figures render in requested order, each the moment its
+//!    last cell completes — a figure whose cells finished early emits
+//!    while the pool is still chewing on later figures' work. Renders
+//!    are pure cache hits, so output is byte-identical to the
+//!    sequential path at every thread count.
+//!
+//! The plan is an *optimization contract*, not a correctness one: a cell
+//! the plan missed is computed by the render as before (slow but right),
+//! and `tests/plan_coverage.rs` keeps the plans exact. With tracing on,
+//! the scheduler emits each unique cell's event stream exactly once (the
+//! cache bypasses reads under tracing, so planned figures then render
+//! against a no-op sink to avoid recomputing); with the cache disabled
+//! (`--no-cache`) scheduling would be pure waste, so the suite falls
+//! back to the sequential per-figure path.
+//!
+//! [`figures::plan`]: crate::figures::plan
+//! [`CellCache`]: crate::cell_cache::CellCache
+//! [`exec::sched`]: crate::exec::sched
+
+use crate::cell_cache::{run_key, CellCache, ExperimentHandle};
+use crate::exec::sched::{self, Graph, GraphReport};
+use crate::figures::{self, plan};
+use crate::spec::{ExperimentSpec, FigureKind};
+use jumanji::prelude::*;
+use jumanji::telemetry::NoopSink;
+use jumanji::types::Error;
+use jumanji::workloads::WorkloadMix;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// One rendered figure, handed to [`run_suite`]'s emit callback in
+/// requested order, as soon as it is ready.
+#[derive(Debug)]
+pub struct SuiteFigure {
+    /// Which figure this is.
+    pub kind: FigureKind,
+    /// The rendered TSV, byte-identical to the standalone binary.
+    pub bytes: Vec<u8>,
+    /// Wall-clock of the render pass alone (under the scheduler this is
+    /// cache-hit time; sequentially it includes the compute).
+    pub seconds: f64,
+    /// Run cells this figure's render computed (cache misses during the
+    /// render — zero when the plan covered the figure).
+    pub computed: u64,
+    /// Run cells served from cache during the render.
+    pub reused: u64,
+}
+
+/// What the scheduler did for one [`run_suite`] call.
+#[derive(Debug, Clone, Default)]
+pub struct SchedReport {
+    /// Design-run lookups the figures planned, before deduplication.
+    pub planned_runs: usize,
+    /// Unique work-graph nodes (experiment constructions + design runs).
+    pub nodes: usize,
+    /// Dependency edges in the graph.
+    pub edges: usize,
+    /// Pool execution measurements.
+    pub graph: GraphReport,
+}
+
+/// The whole run's summary.
+#[derive(Debug, Clone, Default)]
+pub struct SuiteReport {
+    /// Wall-clock of the whole call: plan + schedule + render + emit.
+    pub total_seconds: f64,
+    /// Scheduler measurements; `None` on the sequential path.
+    pub sched: Option<SchedReport>,
+}
+
+/// A work-graph node: construct an experiment, or run a design on one.
+/// The experiment inputs are boxed so the common `Run` variant stays a
+/// few bytes.
+enum Node {
+    Exp(Box<ExpCell>),
+    Run { exp: u32, design: DesignKind },
+}
+
+/// An experiment node's inputs.
+struct ExpCell {
+    mix: WorkloadMix,
+    load: LcLoad,
+    opts: SimOptions,
+}
+
+/// The unioned work graph plus its figure bookkeeping.
+struct Union {
+    nodes: Vec<Node>,
+    costs: Vec<f64>,
+    deps: Vec<Vec<u32>>,
+    /// Figure indices that need each node (for the streaming countdown).
+    node_figures: Vec<Vec<u32>>,
+    /// Per-figure node count (the countdown's starting value).
+    figure_nodes: Vec<usize>,
+    /// Total planned design runs before deduplication.
+    planned_runs: usize,
+}
+
+/// Unions figure plans into one deduplicated graph. Nodes are keyed by
+/// the cell cache's content fingerprints, so two figures (or two cells
+/// of one figure) wanting the same work share a node; node ids grow in
+/// figure order, which the scheduler uses as its priority tie-break so
+/// earlier-requested figures drain first.
+fn union_plans(plans: &[plan::FigurePlan]) -> Union {
+    let mut u = Union {
+        nodes: Vec::new(),
+        costs: Vec::new(),
+        deps: Vec::new(),
+        node_figures: Vec::new(),
+        figure_nodes: vec![0; plans.len()],
+        planned_runs: 0,
+    };
+    let mut exp_ids: HashMap<u128, u32> = HashMap::new();
+    let mut run_ids: HashMap<u128, u32> = HashMap::new();
+    for (f, plan) in plans.iter().enumerate() {
+        let f32u = f as u32;
+        for cell in &plan.cells {
+            u.planned_runs += cell.designs.len();
+            let ekey = cell.experiment_key();
+            let exp_id = *exp_ids.entry(ekey).or_insert_with(|| {
+                let id = u.nodes.len() as u32;
+                u.nodes.push(Node::Exp(Box::new(ExpCell {
+                    mix: cell.mix.clone(),
+                    load: cell.load,
+                    opts: cell.opts.clone(),
+                })));
+                u.costs.push(plan::experiment_cost(&cell.opts));
+                u.deps.push(Vec::new());
+                u.node_figures.push(Vec::new());
+                id
+            });
+            if u.node_figures[exp_id as usize].last() != Some(&f32u) {
+                u.node_figures[exp_id as usize].push(f32u);
+                u.figure_nodes[f] += 1;
+            }
+            for &design in &cell.designs {
+                let rkey = run_key(ekey, design);
+                let run_id = *run_ids.entry(rkey).or_insert_with(|| {
+                    let id = u.nodes.len() as u32;
+                    u.nodes.push(Node::Run {
+                        exp: exp_id,
+                        design,
+                    });
+                    u.costs.push(plan::run_cost(&cell.opts, design));
+                    u.deps.push(vec![exp_id]);
+                    u.node_figures.push(Vec::new());
+                    id
+                });
+                if u.node_figures[run_id as usize].last() != Some(&f32u) {
+                    u.node_figures[run_id as usize].push(f32u);
+                    u.figure_nodes[f] += 1;
+                }
+            }
+        }
+    }
+    u
+}
+
+/// The streaming countdown the scheduler decrements and the renderer
+/// waits on.
+struct Progress {
+    state: Mutex<ProgressState>,
+    ready: Condvar,
+}
+
+struct ProgressState {
+    /// Unfinished nodes per figure.
+    remaining: Vec<usize>,
+    /// Set when the scheduler thread exits (normally or by panic), so
+    /// waiters never hang — any still-missing cells are computed by the
+    /// render itself.
+    finished: bool,
+}
+
+impl Progress {
+    fn wait_for(&self, figure: usize) {
+        let mut st = self.state.lock().expect("progress lock");
+        while st.remaining[figure] > 0 && !st.finished {
+            st = self.ready.wait(st).expect("progress lock");
+        }
+    }
+}
+
+/// Sets `finished` and wakes every waiter when dropped — including
+/// during a panic unwind of the scheduler thread.
+struct FinishGuard<'a>(&'a Progress);
+
+impl Drop for FinishGuard<'_> {
+    fn drop(&mut self) {
+        self.0.state.lock().expect("progress lock").finished = true;
+        self.0.ready.notify_all();
+    }
+}
+
+/// Renders `spec` into a buffer with run-cell accounting, emitting
+/// through `tel`.
+fn render_figure(
+    spec: &ExperimentSpec,
+    tel: &dyn Telemetry,
+    cache: &CellCache,
+) -> Result<SuiteFigure, Error> {
+    let before = cache.stats().runs;
+    let start = Instant::now();
+    let mut bytes = Vec::new();
+    figures::emit(spec, tel, &mut bytes)?;
+    let after = cache.stats().runs;
+    Ok(SuiteFigure {
+        kind: spec.kind,
+        bytes,
+        seconds: start.elapsed().as_secs_f64(),
+        computed: after.misses - before.misses,
+        reused: after.hits - before.hits,
+    })
+}
+
+/// Runs the suite over `specs`, calling `emit` once per figure in
+/// `specs` order, each as soon as it is ready.
+///
+/// With `sequential` false and the cache enabled, the cross-figure work
+/// graph executes on `threads` workers and figures stream as their cells
+/// complete; otherwise figures render one at a time (today's behavior —
+/// also used as the A/B baseline by the `timings` binary). Telemetry
+/// goes to `tel` in both modes; the specs' own `trace`/`telemetry`
+/// fields are ignored.
+///
+/// Output bytes are identical in both modes at every thread count: the
+/// renders read through the same [`CellCache`], which is value-
+/// transparent.
+///
+/// # Errors
+///
+/// Propagates plan errors (unknown workloads), figure render errors, and
+/// `emit` errors.
+pub fn run_suite(
+    specs: &[ExperimentSpec],
+    threads: usize,
+    sequential: bool,
+    tel: &dyn Telemetry,
+    emit: &mut dyn FnMut(SuiteFigure) -> Result<(), Error>,
+) -> Result<SuiteReport, Error> {
+    let cache = CellCache::global();
+    let start = Instant::now();
+    if sequential || !cache.enabled() {
+        for spec in specs {
+            emit(render_figure(spec, tel, cache)?)?;
+        }
+        return Ok(SuiteReport {
+            total_seconds: start.elapsed().as_secs_f64(),
+            sched: None,
+        });
+    }
+
+    let plans: Vec<plan::FigurePlan> = specs.iter().map(plan::of).collect::<Result<_, _>>()?;
+    let union = union_plans(&plans);
+    let graph = Graph::new(&union.costs, union.deps.clone());
+    let progress = Progress {
+        state: Mutex::new(ProgressState {
+            remaining: union.figure_nodes.clone(),
+            finished: false,
+        }),
+        ready: Condvar::new(),
+    };
+    // Experiment handles flow from Exp nodes to their Run dependents.
+    let slots: Vec<OnceLock<ExperimentHandle>> =
+        (0..union.nodes.len()).map(|_| OnceLock::new()).collect();
+    // Run-cell lookups the scheduler issued; the streaming renders
+    // subtract the overlap so their cache-delta accounting isn't
+    // polluted by later figures' cells computing concurrently.
+    // Incremented *before* the lookup so a straddling node can only
+    // under-count a render's misses, never invent one.
+    let sched_lookups = AtomicU64::new(0);
+
+    let run_node = |i: usize| {
+        match &union.nodes[i] {
+            Node::Exp(cell) => {
+                let handle = cache.experiment(cell.mix.clone(), cell.load, cell.opts.clone());
+                slots[i].set(handle).expect("each node runs once");
+            }
+            Node::Run { exp, design } => {
+                let handle = slots[*exp as usize]
+                    .get()
+                    .expect("dependency completed first");
+                sched_lookups.fetch_add(1, Ordering::SeqCst);
+                cache.run(handle, *design, tel);
+            }
+        }
+        let mut st = progress.state.lock().expect("progress lock");
+        let mut completed_a_figure = false;
+        for &f in &union.node_figures[i] {
+            st.remaining[f as usize] -= 1;
+            completed_a_figure |= st.remaining[f as usize] == 0;
+        }
+        drop(st);
+        if completed_a_figure {
+            progress.ready.notify_all();
+        }
+    };
+
+    let mut report = SuiteReport::default();
+    let mut emit_err: Option<Error> = None;
+    let graph_report: Mutex<GraphReport> = Mutex::new(GraphReport::default());
+    std::thread::scope(|scope| {
+        let (progress, run_node, graph, graph_report) =
+            (&progress, &run_node, &graph, &graph_report);
+        scope.spawn(move || {
+            let _finish = FinishGuard(progress);
+            let r = sched::run_graph(graph, threads, tel, run_node);
+            *graph_report.lock().expect("report lock") = r;
+        });
+        for (f, spec) in specs.iter().enumerate() {
+            progress.wait_for(f);
+            // Planned figures re-read their cells from the cache; under
+            // tracing their event streams were already emitted (exactly
+            // once per unique cell) by the scheduler, so the render uses
+            // a no-op sink. Unplanned figures compute here and trace
+            // normally.
+            let render_tel: &dyn Telemetry = if tel.enabled() && !plans[f].cells.is_empty() {
+                &NoopSink
+            } else {
+                tel
+            };
+            let overlap_before = sched_lookups.load(Ordering::SeqCst);
+            let result = render_figure(spec, render_tel, cache).map(|mut fig| {
+                // Later figures' cells may compute concurrently during
+                // this render; their lookups are not this figure's.
+                let overlap = sched_lookups.load(Ordering::SeqCst) - overlap_before;
+                fig.computed = fig.computed.saturating_sub(overlap);
+                fig
+            });
+            let result = result.and_then(&mut *emit);
+            if let Err(e) = result {
+                emit_err = Some(e);
+                break;
+            }
+        }
+    });
+    if let Some(e) = emit_err {
+        return Err(e);
+    }
+    report.total_seconds = start.elapsed().as_secs_f64();
+    report.sched = Some(SchedReport {
+        planned_runs: union.planned_runs,
+        nodes: graph.len(),
+        edges: graph.edges(),
+        graph: graph_report.into_inner().expect("report lock"),
+    });
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs_of(kinds: &[FigureKind], mixes: usize) -> Vec<ExperimentSpec> {
+        kinds
+            .iter()
+            .map(|&k| ExperimentSpec::new(k).mixes(mixes).threads(2))
+            .collect()
+    }
+
+    #[test]
+    fn union_dedups_shared_cells_across_figures() {
+        // fig13 and fig14 plan identical matrices; the union must cost
+        // exactly one figure's worth of unique nodes.
+        let specs = specs_of(&[FigureKind::Fig13, FigureKind::Fig14], 2);
+        let plans: Vec<_> = specs.iter().map(|s| plan::of(s).unwrap()).collect();
+        let both = union_plans(&plans);
+        let alone = union_plans(&plans[..1]);
+        assert_eq!(both.nodes.len(), alone.nodes.len());
+        assert_eq!(both.planned_runs, 2 * alone.planned_runs);
+        // Every node is needed by both figures.
+        assert!(both.node_figures.iter().all(|fs| fs == &[0, 1]));
+        assert_eq!(both.figure_nodes, vec![both.nodes.len(); 2]);
+    }
+
+    #[test]
+    fn union_runs_depend_on_their_experiment() {
+        let specs = specs_of(&[FigureKind::Fig05], 1);
+        let plans: Vec<_> = specs.iter().map(|s| plan::of(s).unwrap()).collect();
+        let u = union_plans(&plans);
+        // One experiment node + five design runs on it.
+        assert_eq!(u.nodes.len(), 6);
+        for (i, node) in u.nodes.iter().enumerate() {
+            match node {
+                Node::Exp(_) => assert!(u.deps[i].is_empty()),
+                Node::Run { exp, .. } => assert_eq!(u.deps[i], vec![*exp]),
+            }
+        }
+        // The graph orders the long poles: every run's priority is below
+        // its experiment's (the experiment unlocks the whole cell).
+        let g = Graph::new(&u.costs, u.deps.clone());
+        assert!(g.priority(0) > g.priority(1));
+    }
+
+    #[test]
+    fn union_ids_grow_in_figure_order() {
+        // fig05's single cell plans before fig18's cells, so its node
+        // ids come first — the scheduler's tie-break then favors
+        // earlier-requested figures for streaming.
+        let specs = specs_of(&[FigureKind::Fig05, FigureKind::Fig18], 1);
+        let plans: Vec<_> = specs.iter().map(|s| plan::of(s).unwrap()).collect();
+        let u = union_plans(&plans);
+        let first_fig18 = u
+            .node_figures
+            .iter()
+            .position(|fs| fs.contains(&1))
+            .expect("fig18 has nodes");
+        assert!(u.node_figures[..first_fig18].iter().all(|fs| fs == &[0]));
+    }
+}

@@ -1,0 +1,78 @@
+//! Pins the plan/render identity contract: for every plannable figure,
+//! the plan pass enumerates *exactly* the cells the render consumes.
+//!
+//! A plan that misses cells silently degrades the scheduler back to
+//! compute-in-render (correct but slow, and double work under tracing);
+//! a plan with spurious cells burns compute nobody reads. Both escape
+//! the byte-identity tests — so this test runs each figure through the
+//! scheduler against a cleared cache and asserts (a) the render
+//! computed nothing (every cell it wanted was already there) and
+//! (b) the scheduler computed exactly as many run cells as the
+//! sequential path does (no spurious work).
+//!
+//! Runs in its own process (one integration-test binary, one `#[test]`)
+//! so clearing the global cache cannot perturb other tests. The cheap
+//! figures always run; the full-matrix figures (13–16, sensitivity) are
+//! gated behind `JUMANJI_SUITE_GOLDEN=1` — `scripts/verify.sh` sets it.
+
+use jumanji::telemetry::NoopSink;
+use jumanji_bench::cell_cache::CellCache;
+use jumanji_bench::suite::run_suite;
+use jumanji_bench::{ExperimentSpec, FigureKind};
+
+#[test]
+fn plans_cover_their_renders_exactly() {
+    let mut plannable = vec![
+        FigureKind::Fig04,
+        FigureKind::Fig05,
+        FigureKind::Fig09,
+        FigureKind::Fig17,
+        FigureKind::Fig18,
+        FigureKind::Ablation,
+    ];
+    if std::env::var_os("JUMANJI_SUITE_GOLDEN").is_some() {
+        plannable.extend([
+            FigureKind::Fig13,
+            FigureKind::Fig14,
+            FigureKind::Fig15,
+            FigureKind::Fig16,
+            FigureKind::Sensitivity,
+        ]);
+    } else {
+        eprintln!("set JUMANJI_SUITE_GOLDEN=1 to cover the full-matrix figures");
+    }
+    let cache = CellCache::global();
+    for &kind in &plannable {
+        let specs = [ExperimentSpec::new(kind).mixes(2).threads(2)];
+
+        cache.clear();
+        let mut rendered = Vec::new();
+        run_suite(&specs, 2, false, &NoopSink, &mut |fig| {
+            rendered.push((fig.computed, fig.reused));
+            Ok(())
+        })
+        .expect("scheduled suite runs");
+        let scheduled_misses = cache.stats().runs.misses;
+        let (computed, reused) = rendered[0];
+        assert_eq!(
+            computed,
+            0,
+            "{}: the render computed {computed} cells the plan missed",
+            kind.name()
+        );
+        assert!(
+            reused > 0,
+            "{}: the render read no cells at all",
+            kind.name()
+        );
+
+        cache.clear();
+        run_suite(&specs, 2, true, &NoopSink, &mut |_| Ok(())).expect("sequential suite runs");
+        let sequential_misses = cache.stats().runs.misses;
+        assert_eq!(
+            scheduled_misses, sequential_misses,
+            "{}: scheduled path computed {scheduled_misses} run cells, sequential {sequential_misses}",
+            kind.name()
+        );
+    }
+}

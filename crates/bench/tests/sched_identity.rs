@@ -1,0 +1,83 @@
+//! Property test: the work-graph scheduler is invisible in the output.
+//!
+//! For random subsets of the plannable figures and random thread counts,
+//! rendering through the scheduled path must produce byte-identical
+//! TSVs to the sequential per-figure path. The scheduled run goes
+//! first with a fresh spec seed, so the scheduler (not a warm cache)
+//! computes the cells; the sequential run then renders through the same
+//! value-transparent [`CellCache`], whose own golden tests pin that
+//! cached and cold renders agree.
+//!
+//! [`CellCache`]: jumanji_bench::cell_cache::CellCache
+
+use jumanji::telemetry::NoopSink;
+use jumanji_bench::suite::run_suite;
+use jumanji_bench::{ExperimentSpec, FigureKind};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Figures with a non-empty plan (the ones the scheduler can own).
+const PLANNABLE: [FigureKind; 11] = [
+    FigureKind::Fig04,
+    FigureKind::Fig05,
+    FigureKind::Fig09,
+    FigureKind::Fig13,
+    FigureKind::Fig14,
+    FigureKind::Fig15,
+    FigureKind::Fig16,
+    FigureKind::Fig17,
+    FigureKind::Fig18,
+    FigureKind::Ablation,
+    FigureKind::Sensitivity,
+];
+
+/// Distinct spec seed per case so every case's cells start cold in the
+/// process-wide cache.
+static CASE_SEED: AtomicU64 = AtomicU64::new(40_000);
+
+fn render_all(specs: &[ExperimentSpec], threads: usize, sequential: bool) -> Vec<Vec<u8>> {
+    let mut outputs = Vec::new();
+    run_suite(specs, threads, sequential, &NoopSink, &mut |fig| {
+        outputs.push(fig.bytes);
+        Ok(())
+    })
+    .expect("suite runs");
+    outputs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    #[test]
+    fn scheduled_output_is_byte_identical_to_sequential(
+        mask in 1u32..(1 << PLANNABLE.len()),
+        threads_pick in 0usize..3,
+    ) {
+        let threads = [1, 2, 4][threads_pick];
+        let seed = CASE_SEED.fetch_add(1, Ordering::Relaxed);
+        let kinds: Vec<FigureKind> = PLANNABLE
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &k)| k)
+            .take(3) // bound per-case cost; the mask still varies which
+            .collect();
+        let specs: Vec<ExperimentSpec> = kinds
+            .iter()
+            .map(|&k| ExperimentSpec::new(k).mixes(1).threads(threads).seed(seed))
+            .collect();
+        // Scheduler first: its cells are cold, so the work graph (not
+        // the warm cache) produces them.
+        let scheduled = render_all(&specs, threads, false);
+        let sequential = render_all(&specs, threads, true);
+        prop_assert_eq!(scheduled.len(), sequential.len());
+        for (i, (s, q)) in scheduled.iter().zip(&sequential).enumerate() {
+            prop_assert!(
+                s == q,
+                "figure {} differs between scheduled and sequential at {} threads",
+                kinds[i].name(),
+                threads
+            );
+        }
+    }
+}

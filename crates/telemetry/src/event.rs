@@ -114,6 +114,58 @@ pub enum Event {
         /// Total cycles spent waiting on this bank's ports.
         port_wait_cycles: u64,
     },
+    /// One steal on the work-graph scheduler: a worker whose deque ran
+    /// dry took jobs from another worker's deque.
+    SchedSteal {
+        /// Worker that stole.
+        thief: usize,
+        /// Worker that was stolen from.
+        victim: usize,
+        /// Jobs moved (steal-half: about half the victim's deque).
+        taken: u64,
+        /// Steal time, µs since the graph execution began.
+        at_us: u64,
+    },
+    /// Ready-queue depth sample, taken each time a scheduled node starts
+    /// executing.
+    SchedQueue {
+        /// Sample time, µs since the graph execution began.
+        at_us: u64,
+        /// Ready (claimable) nodes across every worker deque.
+        depth: u64,
+    },
+    /// Per-worker utilization over one graph execution, emitted when the
+    /// pool drains.
+    SchedWorker {
+        /// Worker index within the pool.
+        worker: usize,
+        /// Nodes this worker executed.
+        jobs: u64,
+        /// Steals this worker performed.
+        steals: u64,
+        /// Time spent executing nodes, µs.
+        busy_us: u64,
+        /// Worker lifetime from pool start to drain, µs.
+        span_us: u64,
+    },
+    /// Whole-graph summary of one work-graph execution: shape, steal
+    /// totals, and the measured critical path (the longest
+    /// dependency-ordered chain of node durations — the wall-clock floor
+    /// no worker count can beat).
+    SchedSummary {
+        /// Nodes in the graph.
+        nodes: u64,
+        /// Dependency edges in the graph.
+        edges: u64,
+        /// Worker threads.
+        workers: u64,
+        /// Total steals across workers.
+        steals: u64,
+        /// Measured critical-path length, µs.
+        critical_path_us: u64,
+        /// Wall-clock of the whole execution, µs.
+        elapsed_us: u64,
+    },
 }
 
 impl Event {
@@ -126,6 +178,10 @@ impl Event {
             Event::WorkerSpan { .. } => "worker_span",
             Event::CacheStats { .. } => "cache_stats",
             Event::DetailBank { .. } => "detail_bank",
+            Event::SchedSteal { .. } => "sched_steal",
+            Event::SchedQueue { .. } => "sched_queue",
+            Event::SchedWorker { .. } => "sched_worker",
+            Event::SchedSummary { .. } => "sched_summary",
         }
     }
 
@@ -228,6 +284,49 @@ impl Event {
                 uint(&mut s, "misses", *misses);
                 uint(&mut s, "port_conflicts", *port_conflicts);
                 uint(&mut s, "port_wait_cycles", *port_wait_cycles);
+            }
+            Event::SchedSteal {
+                thief,
+                victim,
+                taken,
+                at_us,
+            } => {
+                uint(&mut s, "thief", *thief as u64);
+                uint(&mut s, "victim", *victim as u64);
+                uint(&mut s, "taken", *taken);
+                uint(&mut s, "at_us", *at_us);
+            }
+            Event::SchedQueue { at_us, depth } => {
+                uint(&mut s, "at_us", *at_us);
+                uint(&mut s, "depth", *depth);
+            }
+            Event::SchedWorker {
+                worker,
+                jobs,
+                steals,
+                busy_us,
+                span_us,
+            } => {
+                uint(&mut s, "worker", *worker as u64);
+                uint(&mut s, "jobs", *jobs);
+                uint(&mut s, "steals", *steals);
+                uint(&mut s, "busy_us", *busy_us);
+                uint(&mut s, "span_us", *span_us);
+            }
+            Event::SchedSummary {
+                nodes,
+                edges,
+                workers,
+                steals,
+                critical_path_us,
+                elapsed_us,
+            } => {
+                uint(&mut s, "nodes", *nodes);
+                uint(&mut s, "edges", *edges);
+                uint(&mut s, "workers", *workers);
+                uint(&mut s, "steals", *steals);
+                uint(&mut s, "critical_path_us", *critical_path_us);
+                uint(&mut s, "elapsed_us", *elapsed_us);
             }
         }
         s.push('}');
@@ -399,6 +498,52 @@ mod tests {
         assert_eq!(bank.kind(), "detail_bank");
         assert!(span.to_json().contains("\"event\":\"worker_span\""));
         assert!(bank.to_json().contains("\"event\":\"detail_bank\""));
+    }
+
+    #[test]
+    fn sched_events_render_flat_json() {
+        let steal = Event::SchedSteal {
+            thief: 2,
+            victim: 0,
+            taken: 5,
+            at_us: 1234,
+        };
+        assert_eq!(steal.kind(), "sched_steal");
+        let j = steal.to_json();
+        assert!(j.starts_with("{\"event\":\"sched_steal\""), "{j}");
+        assert!(j.contains("\"thief\":2"), "{j}");
+        assert!(j.contains("\"victim\":0"), "{j}");
+        assert!(j.contains("\"taken\":5"), "{j}");
+
+        let q = Event::SchedQueue {
+            at_us: 10,
+            depth: 7,
+        };
+        assert!(q.to_json().contains("\"depth\":7"));
+
+        let w = Event::SchedWorker {
+            worker: 1,
+            jobs: 40,
+            steals: 3,
+            busy_us: 900,
+            span_us: 1000,
+        };
+        let j = w.to_json();
+        assert!(j.contains("\"jobs\":40"), "{j}");
+        assert!(j.contains("\"busy_us\":900"), "{j}");
+
+        let s = Event::SchedSummary {
+            nodes: 100,
+            edges: 80,
+            workers: 4,
+            steals: 9,
+            critical_path_us: 5000,
+            elapsed_us: 6000,
+        };
+        let j = s.to_json();
+        assert!(j.starts_with("{\"event\":\"sched_summary\""), "{j}");
+        assert!(j.contains("\"critical_path_us\":5000"), "{j}");
+        assert_eq!(j.matches('{').count(), 1);
     }
 
     #[test]

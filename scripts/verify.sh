@@ -36,6 +36,9 @@ cargo test --offline --release -p jumanji --test golden_analytic
 echo "== suite golden regression (full fig13/fig14 matrix, gated tests on)"
 JUMANJI_SUITE_GOLDEN=1 cargo test --offline --release -p jumanji-bench --test suite_golden
 
+echo "== plan coverage (every plannable figure, full-matrix figures on)"
+JUMANJI_SUITE_GOLDEN=1 cargo test --offline --release -p jumanji-bench --test plan_coverage
+
 echo "== cargo bench smoke (one iteration per benchmark, no statistics)"
 JUMANJI_BENCH_SMOKE=1 cargo bench --offline
 
@@ -70,6 +73,20 @@ cmp "$tmp/suite_t4/fig14.tsv" "$tmp/s14.tsv"
 
 echo "== suite dedups cells across figures (fig14 reuses fig13's runs)"
 grep -Eq 'cells: [0-9]+ computed, [1-9][0-9]* reused' "$tmp/suite_t1.log"
+
+echo "== scheduled suite is thread-count- and mode-invariant"
+sched_figs=fig05,fig13,fig15,fig17,ablation
+./target/release/suite --figures "$sched_figs" --mixes 2 --threads 1 \
+    --out "$tmp/sched_t1" 2>/dev/null
+./target/release/suite --figures "$sched_figs" --mixes 2 --threads 4 \
+    --out "$tmp/sched_t4" 2>"$tmp/sched_t4.log"
+./target/release/suite --figures "$sched_figs" --mixes 2 --threads 4 \
+    --sequential --out "$tmp/sched_seq" 2>/dev/null
+for f in fig05 fig13 fig15 fig17 ablation; do
+    cmp "$tmp/sched_t1/$f.tsv" "$tmp/sched_t4/$f.tsv"
+    cmp "$tmp/sched_t1/$f.tsv" "$tmp/sched_seq/$f.tsv"
+done
+grep -q '\[suite\] sched:' "$tmp/sched_t4.log"
 
 echo "== --no-cache output is byte-identical to the cached suite"
 ./target/release/suite --figures fig13,fig14 --mixes 2 --threads 1 \
