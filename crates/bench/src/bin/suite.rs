@@ -15,7 +15,7 @@
 //! ```text
 //! suite [--figures all|fig13,fig14,…] [--out DIR] [--stats PATH]
 //!       [--mixes N] [--threads N] [--seed N] [--accesses N]
-//!       [--trace PATH] [--no-cache] [--sequential]
+//!       [--trace PATH] [--no-cache] [--cache-dir DIR] [--sequential]
 //! ```
 //!
 //! - `--figures` — comma-separated [`FigureKind`] names, or `all` for
@@ -34,6 +34,10 @@
 //! - `--no-cache` — disable the shared cache: every cell computes fresh
 //!   (this forces the sequential path; scheduling into a disabled cache
 //!   would be pure waste).
+//! - `--cache-dir DIR` — back the cache with a persistent store (also
+//!   honours `JUMANJI_CACHE_DIR`): completed cells are read from and
+//!   written to `DIR`, so a second suite run — or a standalone figure
+//!   binary pointed at the same directory — starts warm.
 //! - `--sequential` — render figures one at a time without the work
 //!   graph (the A/B baseline `timings` measures against).
 //!
@@ -162,9 +166,14 @@ fn write_stats(
         stats.hulls.hits,
         stats.hulls.misses,
         stats.hulls.entries,
-        if sched.is_some() { "," } else { "" }
+        if sched.is_some() || stats.disk.is_some() {
+            ","
+        } else {
+            ""
+        }
     )?;
     if let Some(s) = sched {
+        let comma = if stats.disk.is_some() { "," } else { "" };
         writeln!(f, "  \"sched\": {{")?;
         writeln!(f, "    \"planned_runs\": {},", s.planned_runs)?;
         writeln!(f, "    \"nodes\": {},", s.nodes)?;
@@ -172,7 +181,33 @@ fn write_stats(
         writeln!(f, "    \"workers\": {},", s.graph.workers)?;
         writeln!(f, "    \"steals\": {},", s.graph.steals)?;
         writeln!(f, "    \"critical_path_us\": {},", s.graph.critical_path_us)?;
-        writeln!(f, "    \"elapsed_us\": {}", s.graph.elapsed_us)?;
+        writeln!(f, "    \"elapsed_us\": {},", s.graph.elapsed_us)?;
+        writeln!(f, "    \"computed_runs\": {},", s.computed_runs)?;
+        writeln!(f, "    \"disk_run_hits\": {},", s.disk_run_hits)?;
+        writeln!(f, "    \"warm_skipped_exps\": {},", s.warm_skipped_exps)?;
+        writeln!(f, "    \"cost_drift\": [")?;
+        for (i, d) in s.drift.iter().enumerate() {
+            writeln!(
+                f,
+                "      {{\"design\": \"{}\", \"prior\": {:.3}, \"measured\": {:.3}, \
+                 \"samples\": {}}}{}",
+                d.design,
+                d.prior,
+                d.measured,
+                d.samples,
+                if i + 1 < s.drift.len() { "," } else { "" }
+            )?;
+        }
+        writeln!(f, "    ]")?;
+        writeln!(f, "  }}{comma}")?;
+    }
+    if let Some(d) = &stats.disk {
+        writeln!(f, "  \"disk_cache\": {{")?;
+        writeln!(f, "    \"hits\": {},", d.hits)?;
+        writeln!(f, "    \"misses\": {},", d.misses)?;
+        writeln!(f, "    \"writes\": {},", d.writes)?;
+        writeln!(f, "    \"evictions\": {},", d.evictions)?;
+        writeln!(f, "    \"corrupt_dropped\": {}", d.corrupt_dropped)?;
         writeln!(f, "  }}")?;
     }
     writeln!(f, "}}")?;
@@ -259,6 +294,26 @@ fn run(args: &[String]) -> Result<(), Error> {
             s.graph.critical_path_us as f64 / 1e6,
             s.graph.elapsed_us as f64 / 1e6
         );
+        if stats.disk.is_some() {
+            eprintln!(
+                "[suite] sched: {} runs computed, {} served from disk, \
+                 {} experiment constructions skipped warm",
+                s.computed_runs, s.disk_run_hits, s.warm_skipped_exps
+            );
+        }
+        for d in &s.drift {
+            eprintln!(
+                "[suite] cost drift: {} prior {:.2} measured {:.2} ({} samples)",
+                d.design, d.prior, d.measured, d.samples
+            );
+        }
+    }
+    if let Some(d) = &stats.disk {
+        eprintln!(
+            "[suite] disk cache: {} hits, {} misses, {} writes, \
+             {} evictions, {} corrupt dropped",
+            d.hits, d.misses, d.writes, d.evictions, d.corrupt_dropped
+        );
     }
 
     if let Some(sink) = &sink {
@@ -275,6 +330,15 @@ fn run(args: &[String]) -> Result<(), Error> {
                 entries: m.entries,
             });
         }
+        if let Some(d) = &stats.disk {
+            sink.emit(&Event::DiskCacheStats {
+                hits: d.hits,
+                misses: d.misses,
+                writes: d.writes,
+                evictions: d.evictions,
+                corrupt_dropped: d.corrupt_dropped,
+            });
+        }
         sink.flush()?;
     }
     if let Some(path) = &stats_path {
@@ -286,6 +350,7 @@ fn run(args: &[String]) -> Result<(), Error> {
             summary.sched.as_ref(),
         )?;
     }
+    jumanji_bench::cell_cache::persist_global_disk();
     Ok(())
 }
 

@@ -210,6 +210,66 @@ fn sched_timing(bin_dir: &Path, out_dir: &Path) -> SchedTiming {
     timing
 }
 
+/// Persistent-store A/B measurements over the [`SUITE`] figure set.
+struct DiskTiming {
+    cold_seconds: f64,
+    warm_seconds: f64,
+    entries_written: u64,
+    warm_disk_hits: u64,
+}
+
+/// Runs the `suite` binary twice against one fresh `--cache-dir` — a
+/// cold run that populates the store, then a warm run in a new process
+/// that should serve (nearly) everything from disk — asserts the TSVs
+/// are byte-identical, and returns both wall-clocks plus the store's
+/// write and hit counts.
+fn disk_timing(bin_dir: &Path, out_dir: &Path) -> DiskTiming {
+    let cache_dir = out_dir.join("disk_cache_probe");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let run = |mode_dir: &Path, stats: &Path| -> f64 {
+        let t = Instant::now();
+        let status = Command::new(bin_dir.join("suite"))
+            .args(["--figures", &SUITE.join(",")])
+            .args(["--mixes", &SUITE_MIXES.to_string()])
+            .args(["--out".as_ref(), mode_dir.as_os_str()])
+            .args(["--stats".as_ref(), stats.as_os_str()])
+            .args(["--cache-dir".as_ref(), cache_dir.as_os_str()])
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn suite: {e}"));
+        assert!(status.success(), "suite exited with {status}");
+        t.elapsed().as_secs_f64()
+    };
+
+    let cold_dir = out_dir.join("disk_cold_tsv");
+    let warm_dir = out_dir.join("disk_warm_tsv");
+    let cold_stats_path = out_dir.join("disk_cold_stats.json");
+    let warm_stats_path = out_dir.join("disk_warm_stats.json");
+    let cold_seconds = run(&cold_dir, &cold_stats_path);
+    let warm_seconds = run(&warm_dir, &warm_stats_path);
+    for name in SUITE {
+        let a = std::fs::read(cold_dir.join(format!("{name}.tsv"))).expect("cold tsv");
+        let b = std::fs::read(warm_dir.join(format!("{name}.tsv"))).expect("warm tsv");
+        assert_eq!(a, b, "{name}: cold and warm TSVs differ");
+    }
+    let cold_stats = std::fs::read_to_string(&cold_stats_path).expect("cold stats");
+    let warm_stats = std::fs::read_to_string(&warm_stats_path).expect("warm stats");
+    let entries_written = read_number(&cold_stats, "\"writes\":").expect("cold writes") as u64;
+    let warm_disk_hits = read_number(&warm_stats, "\"disk_run_hits\":").expect("warm hits") as u64;
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let _ = std::fs::remove_dir_all(&cold_dir);
+    let _ = std::fs::remove_dir_all(&warm_dir);
+    let _ = std::fs::remove_file(&cold_stats_path);
+    let _ = std::fs::remove_file(&warm_stats_path);
+    DiskTiming {
+        cold_seconds,
+        warm_seconds,
+        entries_written,
+        warm_disk_hits,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let out_dir = flag_value(&args, "--out").map_or_else(|| PathBuf::from("."), PathBuf::from);
@@ -263,6 +323,17 @@ fn main() {
         sched.nodes,
         sched.steals,
         sched.critical_path_us as f64 / 1e6
+    );
+
+    let disk = disk_timing(&bin_dir, &out_dir);
+    eprintln!(
+        "disk cache: {:.2}s cold vs {:.2}s warm ({:.2}x; {} entries written, \
+         {} warm disk hits)",
+        disk.cold_seconds,
+        disk.warm_seconds,
+        disk.cold_seconds / disk.warm_seconds,
+        disk.entries_written,
+        disk.warm_disk_hits
     );
 
     let (detail_accesses, detail_rate) = detail_throughput();
@@ -348,6 +419,18 @@ fn main() {
         sched.steals,
         sched.critical_path_us,
         sched.elapsed_us
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"disk_cache\": {\n");
+    json.push_str(&format!(
+        "    \"cold_seconds\": {:.3},\n    \"warm_seconds\": {:.3},\n    \
+         \"speedup_warm_vs_cold\": {:.2},\n    \"entries_written\": {},\n    \
+         \"warm_disk_hits\": {}\n",
+        disk.cold_seconds,
+        disk.warm_seconds,
+        disk.cold_seconds / disk.warm_seconds,
+        disk.entries_written,
+        disk.warm_disk_hits
     ));
     json.push_str("  },\n");
     json.push_str(&format!("  \"total_seconds\": {total:.3}"));

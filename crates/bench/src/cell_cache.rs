@@ -20,6 +20,22 @@
 //! `Debug` form of the full input, so two cells share an entry exactly
 //! when the simulation would do identical work.
 //!
+//! **Experiment handles are lazy.** [`CellCache::experiment`] returns a
+//! handle that *names* the experiment (inputs + content key) without
+//! constructing it; construction happens at most once per handle, on
+//! first use inside [`CellCache::run`] — and only when the run cell
+//! itself has to be computed. With a warm disk cache that means a run
+//! can serve every figure without ever paying for hull sampling or
+//! deadline isolation runs.
+//!
+//! **The cache can be disk-backed.** [`CellCache::attach_disk`] plugs in
+//! a [`DiskCache`] (see [`crate::disk_cache`]); run and allocation
+//! lookups then read through the in-memory maps to disk and write newly
+//! computed cells back, so the dedup survives the process — a warm
+//! `suite` run or a standalone `fig14` after a prior `fig13` renders
+//! almost entirely from disk. `--cache-dir DIR` (or
+//! `JUMANJI_CACHE_DIR`) on any figure binary attaches the store.
+//!
 //! **Tracing bypasses cache reads.** A traced run must emit its complete
 //! per-interval event stream, so when the sink is enabled the cache
 //! re-runs the experiment (writing the result through for later untraced
@@ -28,16 +44,18 @@
 //!
 //! The escape hatch: `--no-cache` on any figure binary (or
 //! `JUMANJI_NO_CACHE=1`) disables the global cache, making every lookup
-//! compute fresh.
+//! compute fresh (and ignoring any attached disk store).
 
+use crate::disk_cache::{DiskCache, DiskCacheStats};
 use jumanji::core::{Allocation, DesignKind, PlacementInput};
 use jumanji::sim::{ratio_hull_cache_stats, Experiment, ExperimentResult, SimOptions};
 use jumanji::telemetry::Telemetry;
 use jumanji::types::hash::fingerprint128;
 use jumanji::types::{MapStats, ShardedMap};
 use jumanji::workloads::{LcLoad, WorkloadMix};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// The cache identity of an experiment: a 128-bit content fingerprint of
 /// `(mix, load, opts)`. This is the key [`CellCache::experiment`] files
@@ -53,34 +71,80 @@ pub fn run_key(experiment_key: u128, design: DesignKind) -> u128 {
     fingerprint128(format!("run|{experiment_key:032x}|{design:?}").as_bytes())
 }
 
-/// A constructed experiment plus the cache identity it was filed under
-/// (`None` when the cache is disabled, so downstream run lookups also
-/// compute fresh).
+/// The deferred inputs of an experiment plus its at-most-once
+/// construction slot.
+#[derive(Debug)]
+struct ExpCell {
+    mix: WorkloadMix,
+    load: LcLoad,
+    opts: SimOptions,
+    exp: OnceLock<Arc<Experiment>>,
+}
+
+impl ExpCell {
+    fn construct(&self) -> Arc<Experiment> {
+        Arc::new(Experiment::new(
+            self.mix.clone(),
+            self.load,
+            self.opts.clone(),
+        ))
+    }
+}
+
+/// A lazily constructed experiment plus the cache identity it is filed
+/// under (`None` when the cache is disabled, so downstream run lookups
+/// also compute fresh).
+///
+/// Cloning a handle shares the construction slot: however many clones
+/// exist, the experiment is built at most once per handle family — and
+/// at most once per *process* when the handles came from an enabled
+/// cache, whose `experiments` map dedups construction across handles
+/// with the same key.
 #[derive(Debug, Clone)]
 pub struct ExperimentHandle {
-    exp: Arc<Experiment>,
+    cell: Arc<ExpCell>,
     key: Option<u128>,
 }
 
 impl ExperimentHandle {
-    /// The underlying experiment.
+    /// The underlying experiment, constructing it on first use.
+    ///
+    /// This standalone accessor does not consult any cache map (it has
+    /// no cache reference); handles obtained from the same
+    /// [`CellCache`] share constructions through [`CellCache::run`]
+    /// instead.
     pub fn experiment(&self) -> &Experiment {
-        &self.exp
+        self.cell.exp.get_or_init(|| self.cell.construct())
     }
 }
 
+/// Where [`CellCache::run_sourced`] found (or had to put) a run cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunSource {
+    /// Simulated in this call (and written through to every layer).
+    Computed,
+    /// Served from the in-memory map.
+    Memory,
+    /// Served from the attached disk store.
+    Disk,
+}
+
 /// Counter snapshot of every memo a [`CellCache`] reports on: its own
-/// three maps plus the simulator's process-wide ratio-hull memo.
+/// three maps, the simulator's process-wide ratio-hull memo, and the
+/// attached disk store (when any).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CellCacheStats {
     /// Completed experiment results.
     pub runs: MapStats,
-    /// Constructed experiments.
+    /// Constructed experiments (lazy: only cells that were actually
+    /// forced appear here — a fully warm run constructs none).
     pub experiments: MapStats,
     /// One-shot placement allocations.
     pub allocs: MapStats,
     /// The simulator's shared ratio-hull memo.
     pub hulls: MapStats,
+    /// The attached disk store's counters (`None` when memory-only).
+    pub disk: Option<DiskCacheStats>,
 }
 
 /// A shared concurrent cache of experiment cells (see the module docs).
@@ -94,6 +158,7 @@ pub struct CellCache {
     experiments: ShardedMap<u128, Arc<Experiment>>,
     runs: ShardedMap<u128, Arc<ExperimentResult>>,
     allocs: ShardedMap<u128, Allocation>,
+    disk: RwLock<Option<Arc<DiskCache>>>,
 }
 
 impl Default for CellCache {
@@ -103,13 +168,14 @@ impl Default for CellCache {
 }
 
 impl CellCache {
-    /// An empty, enabled cache.
+    /// An empty, enabled, memory-only cache.
     pub fn new() -> CellCache {
         CellCache {
             enabled: AtomicBool::new(true),
             experiments: ShardedMap::new(),
             runs: ShardedMap::new(),
             allocs: ShardedMap::new(),
+            disk: RwLock::new(None),
         }
     }
 
@@ -141,23 +207,60 @@ impl CellCache {
         self.enabled.store(enabled, Ordering::Relaxed);
     }
 
-    /// The experiment for `(mix, load, opts)`, constructed at most once
-    /// per process while the cache is enabled.
-    pub fn experiment(&self, mix: WorkloadMix, load: LcLoad, opts: SimOptions) -> ExperimentHandle {
+    /// Backs this cache with a persistent store: run and allocation
+    /// lookups read through to it and write computed cells back.
+    /// Replaces any previously attached store.
+    pub fn attach_disk(&self, disk: Arc<DiskCache>) {
+        *self.disk.write().expect("disk slot lock") = Some(disk);
+    }
+
+    /// Detaches the persistent store (memory-only from here on) and
+    /// returns it, e.g. to read its final counters.
+    pub fn detach_disk(&self) -> Option<Arc<DiskCache>> {
+        self.disk.write().expect("disk slot lock").take()
+    }
+
+    /// The attached persistent store, if any — `None` whenever the
+    /// cache is disabled, so `--no-cache` really computes everything.
+    pub fn disk(&self) -> Option<Arc<DiskCache>> {
         if !self.enabled() {
-            return ExperimentHandle {
-                exp: Arc::new(Experiment::new(mix, load, opts)),
-                key: None,
-            };
+            return None;
         }
-        let key = experiment_key(&mix, load, &opts);
-        let exp = self
-            .experiments
-            .get_or_compute(key, || Arc::new(Experiment::new(mix, load, opts)));
+        self.disk.read().expect("disk slot lock").clone()
+    }
+
+    /// A lazy handle naming the experiment for `(mix, load, opts)`.
+    ///
+    /// No construction happens here: the handle carries the inputs and
+    /// the content key, and [`CellCache::run`] forces construction only
+    /// when a run cell actually has to be simulated. Forced
+    /// constructions are deduplicated process-wide through the
+    /// `experiments` map while the cache is enabled.
+    pub fn experiment(&self, mix: WorkloadMix, load: LcLoad, opts: SimOptions) -> ExperimentHandle {
+        let key = self.enabled().then(|| experiment_key(&mix, load, &opts));
         ExperimentHandle {
-            exp,
-            key: Some(key),
+            cell: Arc::new(ExpCell {
+                mix,
+                load,
+                opts,
+                exp: OnceLock::new(),
+            }),
+            key,
         }
+    }
+
+    /// Forces `handle`'s experiment, deduplicating the construction
+    /// through the cache's `experiments` map when the handle was issued
+    /// by an enabled cache.
+    pub fn force_experiment(&self, handle: &ExperimentHandle) -> Arc<Experiment> {
+        Arc::clone(handle.cell.exp.get_or_init(|| {
+            match handle.key {
+                Some(key) if self.enabled() => self
+                    .experiments
+                    .get_or_compute(key, || handle.cell.construct()),
+                _ => handle.cell.construct(),
+            }
+        }))
     }
 
     /// The result of running `design` on `handle`'s experiment, computed
@@ -174,44 +277,103 @@ impl CellCache {
         design: DesignKind,
         tel: &dyn Telemetry,
     ) -> Arc<ExperimentResult> {
+        self.run_sourced(handle, design, tel).0
+    }
+
+    /// [`CellCache::run`] plus where the result came from, so callers
+    /// measuring node durations (the suite scheduler) can tell real
+    /// simulations from cache hits.
+    pub fn run_sourced(
+        &self,
+        handle: &ExperimentHandle,
+        design: DesignKind,
+        tel: &dyn Telemetry,
+    ) -> (Arc<ExperimentResult>, RunSource) {
         let Some(base) = handle.key else {
-            return Arc::new(handle.exp.run_traced(design, tel));
+            let result = Arc::new(self.force_experiment(handle).run_traced(design, tel));
+            return (result, RunSource::Computed);
         };
         let key = run_key(base, design);
         if tel.enabled() {
-            let result = Arc::new(handle.exp.run_traced(design, tel));
+            let result = Arc::new(self.force_experiment(handle).run_traced(design, tel));
             self.runs.insert(key, Arc::clone(&result));
-            return result;
+            if let Some(disk) = self.disk() {
+                disk.store_run(key, &result);
+            }
+            return (result, RunSource::Computed);
         }
-        let exp = Arc::clone(&handle.exp);
-        self.runs
-            .get_or_compute(key, move || Arc::new(exp.run(design)))
+        let source = Cell::new(RunSource::Memory);
+        let result = self.runs.get_or_compute(key, || {
+            if let Some(disk) = self.disk() {
+                if let Some(r) = disk.load_run(key) {
+                    source.set(RunSource::Disk);
+                    return Arc::new(r);
+                }
+            }
+            source.set(RunSource::Computed);
+            let r = Arc::new(self.force_experiment(handle).run(design));
+            if let Some(disk) = self.disk() {
+                disk.store_run(key, &r);
+            }
+            r
+        });
+        (result, source.get())
+    }
+
+    /// True when the run cell for `key` is already available without
+    /// simulating: resident in memory or present on disk. A pure probe —
+    /// no counters, no decode (a file that later fails validation just
+    /// falls back to recompute).
+    pub fn probe_run(&self, key: u128) -> bool {
+        if !self.enabled() {
+            return false;
+        }
+        self.runs.get(&key).is_some() || self.disk().is_some_and(|d| d.has_run(key))
     }
 
     /// The allocation `design` produces for `input`, computed at most once
-    /// per process per distinct input while the cache is enabled.
+    /// per process per distinct input while the cache is enabled (and at
+    /// most once across processes with a disk store attached).
     pub fn allocate(&self, design: DesignKind, input: &PlacementInput) -> Allocation {
         if !self.enabled() {
             return design.allocate(input);
         }
         let key =
             fingerprint128(format!("alloc|{design:?}|{:032x}", input.content_key()).as_bytes());
-        self.allocs.get_or_compute(key, || design.allocate(input))
+        self.allocs.get_or_compute(key, || {
+            if let Some(disk) = self.disk() {
+                if let Some(a) = disk.load_alloc(key) {
+                    return a;
+                }
+            }
+            let a = design.allocate(input);
+            if let Some(disk) = self.disk() {
+                disk.store_alloc(key, &a);
+            }
+            a
+        })
     }
 
     /// A snapshot of every memo's counters (including the simulator's
-    /// shared hull memo).
+    /// shared hull memo and the attached disk store, when any).
     pub fn stats(&self) -> CellCacheStats {
         CellCacheStats {
             runs: self.runs.stats(),
             experiments: self.experiments.stats(),
             allocs: self.allocs.stats(),
             hulls: ratio_hull_cache_stats(),
+            disk: self
+                .disk
+                .read()
+                .expect("disk slot lock")
+                .as_ref()
+                .map(|d| d.stats()),
         }
     }
 
-    /// Drops every entry and resets this cache's counters (the hull memo
-    /// is owned by the simulator and is left alone).
+    /// Drops every in-memory entry and resets this cache's counters.
+    /// The hull memo is owned by the simulator and the disk store's
+    /// files outlive the process by design; both are left alone.
     pub fn clear(&self) {
         self.experiments.clear();
         self.runs.clear();
@@ -219,11 +381,53 @@ impl CellCache {
     }
 }
 
-/// Applies process-level cache flags from a figure binary's argument list:
-/// `--no-cache` disables the global cache before any experiment runs.
+/// Applies process-level cache flags from a figure binary's argument
+/// list: `--no-cache` disables the global cache before any experiment
+/// runs; otherwise `--cache-dir DIR` (or `JUMANJI_CACHE_DIR`) attaches
+/// a persistent store to it and warm-starts the simulator's model
+/// memos from the store.
 pub fn apply_cache_flags(args: &[String]) {
     if wants_no_cache(args) {
         CellCache::global().set_enabled(false);
+        return;
+    }
+    if let Some(dir) = cache_dir_from(args) {
+        attach_global_disk(&dir);
+    }
+}
+
+/// The persistent-store directory requested by `args` or the
+/// environment: `--cache-dir DIR` / `--cache-dir=DIR` beats
+/// `JUMANJI_CACHE_DIR`; an empty value means "no store".
+pub fn cache_dir_from(args: &[String]) -> Option<String> {
+    crate::exec::flag_value(args, "--cache-dir")
+        .or_else(|| std::env::var("JUMANJI_CACHE_DIR").ok())
+        .filter(|dir| !dir.is_empty())
+}
+
+/// Opens `dir` and attaches it to the global cache, seeding the
+/// simulator's model memos from the store. An unopenable directory
+/// warns and leaves the cache memory-only — a bad flag costs the warm
+/// start, never the run.
+pub fn attach_global_disk(dir: &str) {
+    match DiskCache::open(dir) {
+        Ok(disk) => {
+            let disk = Arc::new(disk);
+            disk.seed_model();
+            CellCache::global().attach_disk(disk);
+        }
+        Err(e) => {
+            eprintln!("warning: cannot open --cache-dir {dir}: {e}; continuing without disk cache");
+        }
+    }
+}
+
+/// Persists the simulator's model memos (ratio hulls, deadlines) to the
+/// global cache's disk store, if one is attached. Figure binaries call
+/// this once after rendering, so the *next* process constructs warm.
+pub fn persist_global_disk() {
+    if let Some(disk) = CellCache::global().disk() {
+        disk.persist_model();
     }
 }
 
@@ -245,6 +449,13 @@ mod tests {
         }
     }
 
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("jumanji-cell-cache-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn cached_run_matches_direct_run_exactly() {
         let cache = CellCache::new();
@@ -256,17 +467,25 @@ mod tests {
     }
 
     #[test]
-    fn repeat_lookups_reuse_the_same_result() {
+    fn handles_are_lazy_and_constructions_dedup_across_handles() {
         let cache = CellCache::new();
         let h1 = cache.experiment(case_study_mix(1), LcLoad::Low, quick_opts());
         let h2 = cache.experiment(case_study_mix(1), LcLoad::Low, quick_opts());
-        assert!(Arc::ptr_eq(&h1.exp, &h2.exp));
-        let r1 = cache.run(&h1, DesignKind::Jigsaw, &NoopSink);
-        let r2 = cache.run(&h2, DesignKind::Jigsaw, &NoopSink);
+        // Nothing is constructed until a run forces it.
+        assert_eq!(cache.stats().experiments.entries, 0);
+        let (r1, s1) = cache.run_sourced(&h1, DesignKind::Jigsaw, &NoopSink);
+        let (r2, s2) = cache.run_sourced(&h2, DesignKind::Jigsaw, &NoopSink);
+        assert_eq!(s1, RunSource::Computed);
+        assert_eq!(s2, RunSource::Memory);
         assert!(Arc::ptr_eq(&r1, &r2));
+        // Forcing both handles shares one construction through the map.
+        assert!(Arc::ptr_eq(
+            &cache.force_experiment(&h1),
+            &cache.force_experiment(&h2)
+        ));
         let s = cache.stats();
-        assert_eq!(s.experiments.hits, 1);
         assert_eq!(s.experiments.misses, 1);
+        assert_eq!(s.experiments.entries, 1);
         assert_eq!(s.runs.hits, 1);
         assert_eq!(s.runs.misses, 1);
     }
@@ -301,9 +520,10 @@ mod tests {
         assert!(!cache.enabled());
         let h1 = cache.experiment(case_study_mix(1), LcLoad::High, quick_opts());
         let h2 = cache.experiment(case_study_mix(1), LcLoad::High, quick_opts());
-        assert!(!Arc::ptr_eq(&h1.exp, &h2.exp));
-        let r1 = cache.run(&h1, DesignKind::Jumanji, &NoopSink);
-        let r2 = cache.run(&h2, DesignKind::Jumanji, &NoopSink);
+        let (r1, s1) = cache.run_sourced(&h1, DesignKind::Jumanji, &NoopSink);
+        let (r2, s2) = cache.run_sourced(&h2, DesignKind::Jumanji, &NoopSink);
+        assert_eq!(s1, RunSource::Computed);
+        assert_eq!(s2, RunSource::Computed);
         assert!(!Arc::ptr_eq(&r1, &r2));
         assert_eq!(format!("{r1:?}"), format!("{r2:?}"));
         let s = cache.stats();
@@ -329,12 +549,73 @@ mod tests {
     }
 
     #[test]
-    fn no_cache_flag_is_recognised() {
+    fn disk_store_serves_a_fresh_cache_without_constructing() {
+        let dir = temp_dir("warm");
+        // Cold process: compute one run cell and persist it.
+        let cold = CellCache::new();
+        cold.attach_disk(Arc::new(DiskCache::open(&dir).expect("open store")));
+        let handle = cold.experiment(case_study_mix(5), LcLoad::Low, quick_opts());
+        let (cold_result, src) = cold.run_sourced(&handle, DesignKind::Static, &NoopSink);
+        assert_eq!(src, RunSource::Computed);
+        assert_eq!(cold.stats().disk.expect("disk attached").writes, 1);
+
+        // Warm process (fresh cache, same store): the run is served from
+        // disk, byte-identical, without constructing any experiment.
+        let warm = CellCache::new();
+        warm.attach_disk(Arc::new(DiskCache::open(&dir).expect("open store")));
+        let handle = warm.experiment(case_study_mix(5), LcLoad::Low, quick_opts());
+        let (warm_result, src) = warm.run_sourced(&handle, DesignKind::Static, &NoopSink);
+        assert_eq!(src, RunSource::Disk);
+        assert_eq!(format!("{warm_result:?}"), format!("{cold_result:?}"));
+        let s = warm.stats();
+        assert_eq!(s.experiments.entries, 0, "warm run must construct nothing");
+        assert_eq!(s.disk.expect("disk attached").hits, 1);
+
+        // Second lookup in the same process comes from memory.
+        let (_, src) = warm.run_sourced(&handle, DesignKind::Static, &NoopSink);
+        assert_eq!(src, RunSource::Memory);
+
+        // probe_run sees disk entries; a disabled cache ignores them.
+        let key = run_key(
+            experiment_key(&case_study_mix(5), LcLoad::Low, &quick_opts()),
+            DesignKind::Static,
+        );
+        let probe = CellCache::new();
+        probe.attach_disk(Arc::new(DiskCache::open(&dir).expect("open store")));
+        assert!(probe.probe_run(key));
+        probe.set_enabled(false);
+        assert!(!probe.probe_run(key));
+        assert!(probe.disk().is_none(), "--no-cache must ignore the store");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_alloc_round_trip() {
+        let dir = temp_dir("alloc");
+        let cfg = SystemConfig::micro2020();
+        let input = PlacementInput::example(&cfg);
+        let cold = CellCache::new();
+        cold.attach_disk(Arc::new(DiskCache::open(&dir).expect("open store")));
+        let a = cold.allocate(DesignKind::Jumanji, &input);
+        let warm = CellCache::new();
+        warm.attach_disk(Arc::new(DiskCache::open(&dir).expect("open store")));
+        let b = warm.allocate(DesignKind::Jumanji, &input);
+        assert_eq!(a, b);
+        assert_eq!(warm.stats().disk.expect("disk attached").hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_flags_are_recognised() {
         // Parsing only: the global cache is shared with other tests, so
         // this avoids flipping it.
         let plain: Vec<String> = vec!["--mixes".into(), "2".into()];
         assert!(!wants_no_cache(&plain));
         let flagged: Vec<String> = vec!["--mixes".into(), "2".into(), "--no-cache".into()];
         assert!(wants_no_cache(&flagged));
+        let dir: Vec<String> = vec!["--cache-dir".into(), "/tmp/x".into()];
+        assert_eq!(cache_dir_from(&dir), Some("/tmp/x".to_string()));
+        let eq: Vec<String> = vec!["--cache-dir=/tmp/y".into()];
+        assert_eq!(cache_dir_from(&eq), Some("/tmp/y".to_string()));
     }
 }

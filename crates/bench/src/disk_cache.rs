@@ -1,0 +1,958 @@
+//! The disk-backed persistent half of the experiment-cell cache.
+//!
+//! [`CellCache`](crate::cell_cache::CellCache) deduplicates cells inside
+//! one process; this module makes the dedup survive the process. A
+//! [`DiskCache`] roots a directory (`--cache-dir` /
+//! `JUMANJI_CACHE_DIR`) holding one file per completed cell, named by
+//! the cell's 128-bit content fingerprint — the *same* keys the
+//! in-memory maps use, so a cell computed by any process is warm for
+//! every later one:
+//!
+//! - `runs/<key>.bin` — completed [`ExperimentResult`]s;
+//! - `allocs/<key>.bin` — one-shot [`Allocation`]s;
+//! - `model.bin` — the simulator's expensive construction memos (ratio
+//!   hulls and deadline isolation runs), so even a *cold* run cell
+//!   constructs its experiment from warm models;
+//! - `costs.bin` — measured per-design node durations, fed back into
+//!   the suite scheduler's cost priors
+//!   ([`plan::CostModel`](crate::figures::plan::CostModel)).
+//!
+//! Every file is framed by the versioned, checksummed envelope of
+//! [`nuca_types::codec`] and written via temp-file + atomic rename, so
+//! concurrent processes sharing one directory can never observe a
+//! half-written entry. Reads that find a truncated, bit-flipped, or
+//! stale-format file delete it and report a miss — the caller
+//! recomputes; a corrupt cache can cost time but never correctness.
+//! Floats are stored by bit pattern, so results served from disk format
+//! to byte-identical TSVs.
+//!
+//! The codec is hand-rolled (no serde — the workspace builds offline):
+//! each domain type gets an explicit field-order encode/decode pair
+//! below, and any layout change must bump
+//! [`codec::FORMAT_VERSION`](jumanji::types::codec::FORMAT_VERSION).
+
+use jumanji::cache::MissCurve;
+use jumanji::core::{Allocation, AppAlloc, DesignKind, Pool};
+use jumanji::sim::energy::EnergyBreakdown;
+use jumanji::sim::{export_ratio_hulls, seed_ratio_hull, ExperimentResult, IntervalRecord};
+use jumanji::types::codec::{decode_entry, encode_entry, ByteReader, ByteWriter, CodecError};
+use jumanji::types::{AppId, BankId};
+use jumanji::workloads::{spec2006, tailbench};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, LazyLock, Mutex};
+use std::{fs, io};
+
+/// Envelope kind tag for run-cell entries.
+const KIND_RUN: u16 = 1;
+/// Envelope kind tag for allocation entries.
+const KIND_ALLOC: u16 = 2;
+/// Envelope kind tag for the model-memo file (hulls + deadlines).
+const KIND_MODEL: u16 = 3;
+/// Envelope kind tag for the measured-cost table.
+const KIND_COSTS: u16 = 4;
+
+/// Number of [`DesignKind`] variants (size of the per-design cost rows).
+pub const NUM_DESIGNS: usize = 7;
+
+/// Counter snapshot of one [`DiskCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiskCacheStats {
+    /// Entries served from disk.
+    pub hits: u64,
+    /// Lookups that found no (valid) entry on disk.
+    pub misses: u64,
+    /// Entries successfully written.
+    pub writes: u64,
+    /// Cache files deleted (all deletions are corruption evictions —
+    /// the store never evicts for space).
+    pub evictions: u64,
+    /// Entries dropped because they failed envelope or payload
+    /// validation (truncated, bad checksum, wrong format version, …).
+    pub corrupt_dropped: u64,
+}
+
+/// Measured per-design run costs accumulated across suite runs:
+/// `(samples, total µs-per-interval)` rows, plus one row for experiment
+/// constructions. Stored in `costs.bin` and folded into the scheduler's
+/// cost priors on warm runs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MeasuredCosts {
+    /// Per-design `(samples, total µs-per-interval)`, indexed by
+    /// [`design_tag`].
+    pub runs: [(u64, f64); NUM_DESIGNS],
+    /// Experiment constructions: `(samples, total µs-per-interval)`.
+    pub exps: (u64, f64),
+}
+
+impl MeasuredCosts {
+    /// True when no sample has been recorded at all.
+    pub fn is_empty(&self) -> bool {
+        self.exps.0 == 0 && self.runs.iter().all(|(n, _)| *n == 0)
+    }
+
+    /// Folds another cost table into this one.
+    pub fn merge(&mut self, other: &MeasuredCosts) {
+        for (a, b) in self.runs.iter_mut().zip(other.runs.iter()) {
+            a.0 += b.0;
+            a.1 += b.1;
+        }
+        self.exps.0 += other.exps.0;
+        self.exps.1 += other.exps.1;
+    }
+
+    /// Records one measured run: `us` micro-seconds for a node covering
+    /// `intervals` reconfiguration intervals.
+    pub fn record_run(&mut self, design: DesignKind, intervals: u64, us: u64) {
+        let row = &mut self.runs[design_tag(design) as usize];
+        row.0 += 1;
+        row.1 += us as f64 / intervals.max(1) as f64;
+    }
+
+    /// Records one measured experiment construction.
+    pub fn record_exp(&mut self, intervals: u64, us: u64) {
+        self.exps.0 += 1;
+        self.exps.1 += us as f64 / intervals.max(1) as f64;
+    }
+
+    /// Mean measured µs-per-interval for `design`, if any sample exists.
+    pub fn mean_run_us(&self, design: DesignKind) -> Option<f64> {
+        let (n, total) = self.runs[design_tag(design) as usize];
+        (n > 0).then(|| total / n as f64)
+    }
+
+    /// Mean measured µs-per-interval for experiment construction.
+    pub fn mean_exp_us(&self) -> Option<f64> {
+        let (n, total) = self.exps;
+        (n > 0).then(|| total / n as f64)
+    }
+}
+
+/// The stable on-disk tag of a design (array index into
+/// [`MeasuredCosts::runs`]). Never renumber these: entries written by
+/// older processes key on them.
+pub fn design_tag(design: DesignKind) -> u8 {
+    match design {
+        DesignKind::Static => 0,
+        DesignKind::Adaptive => 1,
+        DesignKind::VmPart => 2,
+        DesignKind::Jigsaw => 3,
+        DesignKind::Jumanji => 4,
+        DesignKind::JumanjiInsecure => 5,
+        DesignKind::JumanjiIdealBatch => 6,
+    }
+}
+
+fn design_from_tag(tag: u8) -> Result<DesignKind, CodecError> {
+    Ok(match tag {
+        0 => DesignKind::Static,
+        1 => DesignKind::Adaptive,
+        2 => DesignKind::VmPart,
+        3 => DesignKind::Jigsaw,
+        4 => DesignKind::Jumanji,
+        5 => DesignKind::JumanjiInsecure,
+        6 => DesignKind::JumanjiIdealBatch,
+        _ => return Err(CodecError::Malformed("unknown design tag")),
+    })
+}
+
+/// Resolves a decoded app name to the `&'static str` the rest of the
+/// stack expects. Names from the workload catalogs resolve to the
+/// catalog's own static string; anything else (a name from a future
+/// catalog) is interned once into a process-lifetime string, so the
+/// leak is bounded by the number of *distinct* names ever decoded.
+fn intern(name: &str) -> &'static str {
+    static INTERNED: LazyLock<Mutex<HashMap<String, &'static str>>> = LazyLock::new(|| {
+        let mut m: HashMap<String, &'static str> = HashMap::new();
+        for p in tailbench() {
+            m.insert(p.name.to_string(), p.name);
+        }
+        for p in spec2006() {
+            m.insert(p.name.to_string(), p.name);
+        }
+        Mutex::new(m)
+    });
+    let mut m = INTERNED.lock().expect("intern table lock");
+    if let Some(&s) = m.get(name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    m.insert(name.to_string(), leaked);
+    leaked
+}
+
+fn encode_names(w: &mut ByteWriter, names: &[&'static str]) {
+    w.u32(names.len() as u32);
+    for n in names {
+        w.str(n);
+    }
+}
+
+fn decode_names(r: &mut ByteReader<'_>) -> Result<Vec<&'static str>, CodecError> {
+    let n = r.count(4)?;
+    (0..n).map(|_| Ok(intern(r.str()?))).collect()
+}
+
+fn encode_energy(w: &mut ByteWriter, e: &EnergyBreakdown) {
+    w.f64(e.l1);
+    w.f64(e.l2);
+    w.f64(e.llc);
+    w.f64(e.noc);
+    w.f64(e.mem);
+}
+
+fn decode_energy(r: &mut ByteReader<'_>) -> Result<EnergyBreakdown, CodecError> {
+    Ok(EnergyBreakdown {
+        l1: r.f64()?,
+        l2: r.f64()?,
+        llc: r.f64()?,
+        noc: r.f64()?,
+        mem: r.f64()?,
+    })
+}
+
+fn encode_interval(w: &mut ByteWriter, iv: &IntervalRecord) {
+    w.f64(iv.t_ms);
+    w.u32(iv.lc_mean_latency_ms.len() as u32);
+    for m in &iv.lc_mean_latency_ms {
+        match m {
+            Some(v) => {
+                w.u8(1);
+                w.f64(*v);
+            }
+            None => w.u8(0),
+        }
+    }
+    w.f64s(&iv.lc_alloc_bytes);
+    w.f64(iv.vulnerability);
+}
+
+fn decode_interval(r: &mut ByteReader<'_>) -> Result<IntervalRecord, CodecError> {
+    let t_ms = r.f64()?;
+    let n = r.count(1)?;
+    let mut lc_mean_latency_ms = Vec::with_capacity(n);
+    for _ in 0..n {
+        lc_mean_latency_ms.push(match r.u8()? {
+            0 => None,
+            1 => Some(r.f64()?),
+            _ => return Err(CodecError::Malformed("bad option tag")),
+        });
+    }
+    Ok(IntervalRecord {
+        t_ms,
+        lc_mean_latency_ms,
+        lc_alloc_bytes: r.f64s()?,
+        vulnerability: r.f64()?,
+    })
+}
+
+fn encode_result(result: &ExperimentResult) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u8(design_tag(result.design));
+    encode_names(&mut w, &result.lc_names);
+    w.f64s(&result.lc_tail_latency_ms);
+    w.f64s(&result.lc_deadline_ms);
+    encode_names(&mut w, &result.batch_names);
+    w.f64s(&result.batch_work);
+    w.f64(result.vulnerability);
+    encode_energy(&mut w, &result.energy);
+    w.f64(result.total_instructions);
+    w.f64(result.coherence_refetches);
+    w.u32(result.timeline.len() as u32);
+    for iv in &result.timeline {
+        encode_interval(&mut w, iv);
+    }
+    encode_entry(KIND_RUN, w.into_bytes())
+}
+
+fn decode_result(bytes: &[u8]) -> Result<ExperimentResult, CodecError> {
+    let payload = decode_entry(KIND_RUN, bytes)?;
+    let mut r = ByteReader::new(payload);
+    let design = design_from_tag(r.u8()?)?;
+    let lc_names = decode_names(&mut r)?;
+    let lc_tail_latency_ms = r.f64s()?;
+    let lc_deadline_ms = r.f64s()?;
+    let batch_names = decode_names(&mut r)?;
+    let batch_work = r.f64s()?;
+    let vulnerability = r.f64()?;
+    let energy = decode_energy(&mut r)?;
+    let total_instructions = r.f64()?;
+    let coherence_refetches = r.f64()?;
+    let n = r.count(1)?;
+    let mut timeline = Vec::with_capacity(n);
+    for _ in 0..n {
+        timeline.push(decode_interval(&mut r)?);
+    }
+    r.finish()?;
+    Ok(ExperimentResult {
+        design,
+        lc_names,
+        lc_tail_latency_ms,
+        lc_deadline_ms,
+        batch_names,
+        batch_work,
+        vulnerability,
+        energy,
+        total_instructions,
+        coherence_refetches,
+        timeline,
+    })
+}
+
+fn encode_placement(w: &mut ByteWriter, placement: &[(BankId, f64)]) {
+    w.u32(placement.len() as u32);
+    for (bank, bytes) in placement {
+        w.usize(bank.0);
+        w.f64(*bytes);
+    }
+}
+
+fn decode_placement(r: &mut ByteReader<'_>) -> Result<Vec<(BankId, f64)>, CodecError> {
+    let n = r.count(16)?;
+    (0..n).map(|_| Ok((BankId(r.usize()?), r.f64()?))).collect()
+}
+
+fn encode_alloc(alloc: &Allocation) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u8(alloc.ideal_batch as u8);
+    w.u32(alloc.apps.len() as u32);
+    for a in &alloc.apps {
+        w.usize(a.app.0);
+        encode_placement(&mut w, &a.placement);
+        match a.pool {
+            Some(p) => {
+                w.u8(1);
+                w.usize(p);
+            }
+            None => w.u8(0),
+        }
+        w.u8(a.copy);
+    }
+    w.u32(alloc.pools.len() as u32);
+    for p in &alloc.pools {
+        w.u32(p.members.len() as u32);
+        for m in &p.members {
+            w.usize(m.0);
+        }
+        encode_placement(&mut w, &p.placement);
+    }
+    encode_entry(KIND_ALLOC, w.into_bytes())
+}
+
+fn decode_alloc(bytes: &[u8]) -> Result<Allocation, CodecError> {
+    let payload = decode_entry(KIND_ALLOC, bytes)?;
+    let mut r = ByteReader::new(payload);
+    let ideal_batch = match r.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(CodecError::Malformed("bad bool tag")),
+    };
+    let napps = r.count(1)?;
+    let mut apps = Vec::with_capacity(napps);
+    for _ in 0..napps {
+        let app = AppId(r.usize()?);
+        let placement = decode_placement(&mut r)?;
+        let pool = match r.u8()? {
+            0 => None,
+            1 => Some(r.usize()?),
+            _ => return Err(CodecError::Malformed("bad option tag")),
+        };
+        let copy = r.u8()?;
+        apps.push(AppAlloc {
+            app,
+            placement,
+            pool,
+            copy,
+        });
+    }
+    let npools = r.count(1)?;
+    let mut pools = Vec::with_capacity(npools);
+    for _ in 0..npools {
+        let nm = r.count(8)?;
+        let members = (0..nm)
+            .map(|_| Ok(AppId(r.usize()?)))
+            .collect::<Result<Vec<_>, CodecError>>()?;
+        let placement = decode_placement(&mut r)?;
+        pools.push(Pool { members, placement });
+    }
+    r.finish()?;
+    for a in &apps {
+        if let Some(p) = a.pool {
+            if p >= pools.len() {
+                return Err(CodecError::Malformed("pool index out of range"));
+            }
+        }
+    }
+    Ok(Allocation {
+        apps,
+        pools,
+        ideal_batch,
+    })
+}
+
+fn encode_curve(w: &mut ByteWriter, curve: &MissCurve) {
+    w.u64(curve.unit_bytes());
+    w.f64s(curve.points());
+}
+
+/// Decodes a miss curve, validating everything [`MissCurve::new`] would
+/// panic on — a checksummed-but-malformed payload must surface as a
+/// codec error, never a panic.
+fn decode_curve(r: &mut ByteReader<'_>) -> Result<MissCurve, CodecError> {
+    let unit = r.u64()?;
+    let points = r.f64s()?;
+    if unit == 0 {
+        return Err(CodecError::Malformed("zero curve unit"));
+    }
+    if points.is_empty() {
+        return Err(CodecError::Malformed("empty curve"));
+    }
+    if points.iter().any(|p| !p.is_finite() || *p < 0.0) {
+        return Err(CodecError::Malformed("non-finite curve point"));
+    }
+    Ok(MissCurve::new(unit, points))
+}
+
+fn encode_model(hulls: &[(u128, Arc<MissCurve>)], deadlines: &[(u128, f64)]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u32(hulls.len() as u32);
+    for (key, hull) in hulls {
+        w.u128(*key);
+        encode_curve(&mut w, hull);
+    }
+    w.u32(deadlines.len() as u32);
+    for (key, cycles) in deadlines {
+        w.u128(*key);
+        w.f64(*cycles);
+    }
+    encode_entry(KIND_MODEL, w.into_bytes())
+}
+
+type ModelEntries = (Vec<(u128, Arc<MissCurve>)>, Vec<(u128, f64)>);
+
+fn decode_model(bytes: &[u8]) -> Result<ModelEntries, CodecError> {
+    let payload = decode_entry(KIND_MODEL, bytes)?;
+    let mut r = ByteReader::new(payload);
+    let nh = r.count(16)?;
+    let mut hulls = Vec::with_capacity(nh);
+    for _ in 0..nh {
+        let key = r.u128()?;
+        hulls.push((key, Arc::new(decode_curve(&mut r)?)));
+    }
+    let nd = r.count(24)?;
+    let mut deadlines = Vec::with_capacity(nd);
+    for _ in 0..nd {
+        let key = r.u128()?;
+        let cycles = r.f64()?;
+        if !cycles.is_finite() || cycles <= 0.0 {
+            return Err(CodecError::Malformed("bad deadline"));
+        }
+        deadlines.push((key, cycles));
+    }
+    r.finish()?;
+    Ok((hulls, deadlines))
+}
+
+fn encode_costs(costs: &MeasuredCosts) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    for (n, total) in &costs.runs {
+        w.u64(*n);
+        w.f64(*total);
+    }
+    w.u64(costs.exps.0);
+    w.f64(costs.exps.1);
+    encode_entry(KIND_COSTS, w.into_bytes())
+}
+
+fn decode_costs(bytes: &[u8]) -> Result<MeasuredCosts, CodecError> {
+    let payload = decode_entry(KIND_COSTS, bytes)?;
+    let mut r = ByteReader::new(payload);
+    let mut costs = MeasuredCosts::default();
+    for row in &mut costs.runs {
+        row.0 = r.u64()?;
+        row.1 = r.f64()?;
+        if !row.1.is_finite() || row.1 < 0.0 {
+            return Err(CodecError::Malformed("bad cost total"));
+        }
+    }
+    costs.exps.0 = r.u64()?;
+    costs.exps.1 = r.f64()?;
+    if !costs.exps.1.is_finite() || costs.exps.1 < 0.0 {
+        return Err(CodecError::Malformed("bad cost total"));
+    }
+    r.finish()?;
+    Ok(costs)
+}
+
+/// A disk-backed, fingerprint-keyed store of completed cells (see the
+/// module docs). All methods are `&self` and thread-safe; multiple
+/// processes may share one directory.
+#[derive(Debug)]
+pub struct DiskCache {
+    root: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    evictions: AtomicU64,
+    corrupt_dropped: AtomicU64,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory tree cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<DiskCache> {
+        let root = dir.into();
+        fs::create_dir_all(root.join("runs"))?;
+        fs::create_dir_all(root.join("allocs"))?;
+        Ok(DiskCache {
+            root,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            corrupt_dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// A snapshot of the store's counters.
+    pub fn stats(&self) -> DiskCacheStats {
+        DiskCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            corrupt_dropped: self.corrupt_dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    fn run_path(&self, key: u128) -> PathBuf {
+        self.root.join("runs").join(format!("{key:032x}.bin"))
+    }
+
+    fn alloc_path(&self, key: u128) -> PathBuf {
+        self.root.join("allocs").join(format!("{key:032x}.bin"))
+    }
+
+    /// Writes `bytes` to `path` via a uniquely named temp file in the
+    /// same directory plus an atomic rename, so a concurrent reader (or
+    /// a crash) can never observe a partial entry. Last writer wins;
+    /// both writers hold identical bytes for a given key by
+    /// construction (content-addressed store).
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let mut name = path
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_default();
+        name.push(format!(".tmp.{}.{}", std::process::id(), seq));
+        let tmp = path.with_file_name(name);
+        fs::write(&tmp, bytes)?;
+        match fs::rename(&tmp, path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Loads, validates, and decodes the entry at `path`. A missing
+    /// file is a plain miss; an invalid one is dropped from disk and
+    /// then counted as a miss.
+    fn load_entry<T>(
+        &self,
+        path: &Path,
+        decode: impl FnOnce(&[u8]) -> Result<T, CodecError>,
+    ) -> Option<T> {
+        let bytes = match fs::read(path) {
+            Ok(b) => b,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match decode(&bytes) {
+            Ok(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            Err(_) => {
+                self.drop_corrupt(path);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn drop_corrupt(&self, path: &Path) {
+        self.corrupt_dropped.fetch_add(1, Ordering::Relaxed);
+        if fs::remove_file(path).is_ok() {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn store_entry(&self, path: &Path, bytes: &[u8]) {
+        // Best-effort: a full disk or permission error costs the warm
+        // start, never the result.
+        if self.write_atomic(path, bytes).is_ok() {
+            self.writes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The persisted result for a run-cell key, if a valid entry exists.
+    pub fn load_run(&self, key: u128) -> Option<ExperimentResult> {
+        self.load_entry(&self.run_path(key), decode_result)
+    }
+
+    /// Persists a completed run cell.
+    pub fn store_run(&self, key: u128, result: &ExperimentResult) {
+        self.store_entry(&self.run_path(key), &encode_result(result));
+    }
+
+    /// Cheap existence probe for a run-cell entry (no validation, no
+    /// hit/miss accounting): used by the scheduler to decide whether an
+    /// experiment construction can be skipped entirely. A file that
+    /// later fails validation just falls back to lazy construction.
+    pub fn has_run(&self, key: u128) -> bool {
+        self.run_path(key).exists()
+    }
+
+    /// The persisted allocation for a key, if a valid entry exists.
+    pub fn load_alloc(&self, key: u128) -> Option<Allocation> {
+        self.load_entry(&self.alloc_path(key), decode_alloc)
+    }
+
+    /// Persists a one-shot allocation.
+    pub fn store_alloc(&self, key: u128, alloc: &Allocation) {
+        self.store_entry(&self.alloc_path(key), &encode_alloc(alloc));
+    }
+
+    /// Warm-starts the simulator's construction memos (ratio hulls,
+    /// deadline isolation runs) from `model.bin`. Returns the number of
+    /// entries seeded; a corrupt file is dropped and seeds nothing.
+    pub fn seed_model(&self) -> usize {
+        let path = self.root.join("model.bin");
+        let Some((hulls, deadlines)) = self.load_entry(&path, decode_model) else {
+            return 0;
+        };
+        let n = hulls.len() + deadlines.len();
+        for (key, hull) in hulls {
+            seed_ratio_hull(key, hull);
+        }
+        for (key, cycles) in deadlines {
+            jumanji::sim::deadline::seed_deadline(key, cycles);
+        }
+        n
+    }
+
+    /// Persists the simulator's construction memos, merged with
+    /// whatever `model.bin` already holds (entries are pure functions
+    /// of their keys, so union order is irrelevant). Returns the entry
+    /// count written. Concurrent writers can lose each other's *new*
+    /// entries (read-merge-write is not transactional); the loser's
+    /// entries are simply recomputed and re-persisted next run.
+    pub fn persist_model(&self) -> usize {
+        let path = self.root.join("model.bin");
+        let mut hulls: HashMap<u128, Arc<MissCurve>> = export_ratio_hulls().into_iter().collect();
+        let mut deadlines: HashMap<u128, f64> = jumanji::sim::deadline::export_deadlines()
+            .into_iter()
+            .collect();
+        if let Ok(bytes) = fs::read(&path) {
+            match decode_model(&bytes) {
+                Ok((old_hulls, old_deadlines)) => {
+                    for (k, v) in old_hulls {
+                        hulls.entry(k).or_insert(v);
+                    }
+                    for (k, v) in old_deadlines {
+                        deadlines.entry(k).or_insert(v);
+                    }
+                }
+                Err(_) => self.drop_corrupt(&path),
+            }
+        }
+        if hulls.is_empty() && deadlines.is_empty() {
+            return 0;
+        }
+        let mut hulls: Vec<_> = hulls.into_iter().collect();
+        hulls.sort_unstable_by_key(|(k, _)| *k);
+        let mut deadlines: Vec<_> = deadlines.into_iter().collect();
+        deadlines.sort_unstable_by_key(|(k, _)| *k);
+        let n = hulls.len() + deadlines.len();
+        self.store_entry(&path, &encode_model(&hulls, &deadlines));
+        n
+    }
+
+    /// The measured-cost table, or the empty default when absent or
+    /// invalid (a corrupt file is dropped).
+    pub fn load_costs(&self) -> MeasuredCosts {
+        let path = self.root.join("costs.bin");
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => return MeasuredCosts::default(),
+        };
+        match decode_costs(&bytes) {
+            Ok(c) => c,
+            Err(_) => {
+                self.drop_corrupt(&path);
+                MeasuredCosts::default()
+            }
+        }
+    }
+
+    /// Folds freshly measured costs into `costs.bin` (read-merge-write;
+    /// a concurrent writer's update may be lost, costing only sample
+    /// count).
+    pub fn merge_costs(&self, fresh: &MeasuredCosts) {
+        if fresh.is_empty() {
+            return;
+        }
+        let mut merged = self.load_costs();
+        merged.merge(fresh);
+        self.store_entry(&self.root.join("costs.bin"), &encode_costs(&merged));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> DiskCache {
+        let dir = std::env::temp_dir().join(format!(
+            "jumanji-disk-cache-unit-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        DiskCache::open(&dir).expect("open store")
+    }
+
+    fn sample_result() -> ExperimentResult {
+        ExperimentResult {
+            design: DesignKind::Jumanji,
+            lc_names: vec![intern("xapian"), intern("made-up-server")],
+            lc_tail_latency_ms: vec![1.25, 0.5],
+            lc_deadline_ms: vec![1.3, 0.6],
+            batch_names: vec![intern("mcf")],
+            batch_work: vec![1e9],
+            vulnerability: 0.25,
+            energy: EnergyBreakdown {
+                l1: 1.0,
+                l2: 2.0,
+                llc: 3.0,
+                noc: 4.0,
+                mem: 5.0,
+            },
+            total_instructions: 2e9,
+            coherence_refetches: 1234.5,
+            timeline: vec![
+                IntervalRecord {
+                    t_ms: 100.0,
+                    lc_mean_latency_ms: vec![Some(1.0), None],
+                    lc_alloc_bytes: vec![1048576.0, 0.0],
+                    vulnerability: 0.5,
+                },
+                IntervalRecord {
+                    t_ms: 200.0,
+                    lc_mean_latency_ms: vec![None, Some(-0.0)],
+                    lc_alloc_bytes: vec![],
+                    vulnerability: 0.0,
+                },
+            ],
+        }
+    }
+
+    fn sample_alloc() -> Allocation {
+        Allocation {
+            apps: vec![
+                AppAlloc {
+                    app: AppId(0),
+                    placement: vec![(BankId(0), 65536.0), (BankId(3), 0.5)],
+                    pool: None,
+                    copy: 0,
+                },
+                AppAlloc {
+                    app: AppId(1),
+                    placement: vec![],
+                    pool: Some(0),
+                    copy: 1,
+                },
+            ],
+            pools: vec![Pool {
+                members: vec![AppId(1)],
+                placement: vec![(BankId(7), 123.0)],
+            }],
+            ideal_batch: true,
+        }
+    }
+
+    #[test]
+    fn result_codec_round_trips_bit_exactly() {
+        let original = sample_result();
+        let decoded = decode_result(&encode_result(&original)).expect("valid entry");
+        // Debug formatting covers every field, and floats round-trip by
+        // bits — so the debug forms (and any TSV formatted from the
+        // decoded result) are byte-identical.
+        assert_eq!(format!("{original:?}"), format!("{decoded:?}"));
+        // Catalog names resolve to the catalog's own static string.
+        assert_eq!(
+            original.lc_names[0].as_ptr(),
+            decoded.lc_names[0].as_ptr(),
+            "catalog names must be interned to the same static"
+        );
+        assert_eq!(
+            decoded.timeline[1].lc_mean_latency_ms[1].unwrap().to_bits(),
+            (-0.0f64).to_bits()
+        );
+    }
+
+    #[test]
+    fn alloc_codec_round_trips() {
+        let original = sample_alloc();
+        let decoded = decode_alloc(&encode_alloc(&original)).expect("valid entry");
+        assert_eq!(original, decoded);
+    }
+
+    #[test]
+    fn alloc_decoder_rejects_dangling_pool_index() {
+        let mut alloc = sample_alloc();
+        alloc.pools.clear();
+        let err = decode_alloc(&encode_alloc(&alloc)).expect_err("dangling pool");
+        assert_eq!(err, CodecError::Malformed("pool index out of range"));
+    }
+
+    #[test]
+    fn store_round_trips_runs_and_allocs() {
+        let store = temp_store("roundtrip");
+        let result = sample_result();
+        assert!(store.load_run(7).is_none());
+        assert!(!store.has_run(7));
+        store.store_run(7, &result);
+        assert!(store.has_run(7));
+        let loaded = store.load_run(7).expect("stored entry");
+        assert_eq!(format!("{result:?}"), format!("{loaded:?}"));
+
+        let alloc = sample_alloc();
+        store.store_alloc(9, &alloc);
+        assert_eq!(store.load_alloc(9), Some(alloc));
+
+        let s = store.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.corrupt_dropped, 0);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn corrupt_entries_are_dropped_and_recomputable() {
+        let store = temp_store("corrupt");
+        store.store_run(1, &sample_result());
+        let path = store.run_path(1);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.load_run(1).is_none(), "corrupt entry must miss");
+        assert!(!path.exists(), "corrupt entry must be deleted");
+        let s = store.stats();
+        assert_eq!(s.corrupt_dropped, 1);
+        assert_eq!(s.evictions, 1);
+        // The slot is clean again: a recompute can repopulate it.
+        store.store_run(1, &sample_result());
+        assert!(store.load_run(1).is_some());
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn costs_table_accumulates_across_merges() {
+        let store = temp_store("costs");
+        assert!(store.load_costs().is_empty());
+        let mut fresh = MeasuredCosts::default();
+        fresh.record_run(DesignKind::Jumanji, 10, 1000);
+        fresh.record_run(DesignKind::Jumanji, 10, 3000);
+        fresh.record_exp(10, 500);
+        store.merge_costs(&fresh);
+        store.merge_costs(&fresh);
+        let loaded = store.load_costs();
+        assert_eq!(loaded.runs[design_tag(DesignKind::Jumanji) as usize].0, 4);
+        assert_eq!(loaded.mean_run_us(DesignKind::Jumanji), Some(200.0));
+        assert_eq!(loaded.mean_exp_us(), Some(50.0));
+        assert_eq!(loaded.mean_run_us(DesignKind::Static), None);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn model_file_round_trips_and_merges() {
+        let store = temp_store("model");
+        // Nothing persisted yet: seeding is a no-op (possibly after
+        // other tests populated the process-wide memos, persist first).
+        let curve = Arc::new(MissCurve::new(1024, vec![3.0, 2.0, 1.0]));
+        let encoded = encode_model(&[(42u128, Arc::clone(&curve))], &[(7u128, 1000.0)]);
+        let (hulls, deadlines) = decode_model(&encoded).expect("valid model");
+        assert_eq!(hulls.len(), 1);
+        assert_eq!(hulls[0].0, 42);
+        assert_eq!(hulls[0].1.points(), curve.points());
+        assert_eq!(deadlines, vec![(7, 1000.0)]);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn model_decoder_rejects_malformed_values() {
+        let bad_curve = {
+            let mut w = ByteWriter::new();
+            w.u32(1);
+            w.u128(1);
+            w.u64(0); // zero unit
+            w.f64s(&[1.0]);
+            w.u32(0);
+            encode_entry(KIND_MODEL, w.into_bytes())
+        };
+        assert_eq!(
+            decode_model(&bad_curve),
+            Err(CodecError::Malformed("zero curve unit"))
+        );
+        let bad_deadline = encode_model(&[], &[(1, f64::NAN)]);
+        assert!(decode_model(&bad_deadline).is_err());
+    }
+
+    #[test]
+    fn concurrent_writers_never_leave_a_torn_entry() {
+        // Two independent stores on the same directory (stand-ins for
+        // two processes) hammer the same key while a reader validates:
+        // every read must be a full valid entry or a clean miss — never
+        // a decode of interleaved bytes that passes, and never a panic.
+        let store_a = temp_store("race");
+        let store_b = DiskCache::open(store_a.root()).expect("open second store");
+        let result = sample_result();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for _ in 0..200 {
+                    store_a.store_run(5, &result);
+                }
+            });
+            s.spawn(|| {
+                for _ in 0..200 {
+                    store_b.store_run(5, &result);
+                }
+            });
+            for _ in 0..200 {
+                if let Some(loaded) = store_a.load_run(5) {
+                    assert_eq!(format!("{loaded:?}"), format!("{result:?}"));
+                }
+            }
+        });
+        assert_eq!(store_a.stats().corrupt_dropped, 0, "no torn entries");
+        let loaded = store_b.load_run(5).expect("final entry valid");
+        assert_eq!(format!("{loaded:?}"), format!("{result:?}"));
+        let _ = fs::remove_dir_all(store_a.root());
+    }
+}

@@ -142,6 +142,9 @@ pub struct GraphReport {
     pub busy_us: Vec<u64>,
     /// Per-worker executed-node counts.
     pub jobs: Vec<u64>,
+    /// Per-node measured durations, µs, indexed by node id. The suite
+    /// feeds these back into the persistent cost priors.
+    pub node_us: Vec<u64>,
 }
 
 /// One worker's deque of ready node ids, front = highest priority.
@@ -331,12 +334,13 @@ where
     });
 
     let elapsed_us = epoch.elapsed().as_micros() as u64;
-    // Measured critical path: longest chain of durations along
-    // dependency edges, in topological order.
-    let mut chain: Vec<u64> = durations
+    let node_us: Vec<u64> = durations
         .iter()
         .map(|d| d.load(Ordering::Relaxed))
         .collect();
+    // Measured critical path: longest chain of durations along
+    // dependency edges, in topological order.
+    let mut chain: Vec<u64> = node_us.clone();
     for &i in &graph.topo {
         let longest = graph.deps[i as usize]
             .iter()
@@ -352,6 +356,7 @@ where
         critical_path_us: chain.iter().copied().max().unwrap_or(0),
         busy_us: busy.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
         jobs: jobs.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        node_us,
     };
     if tracing {
         for (w, count) in steal_counts.iter().enumerate() {

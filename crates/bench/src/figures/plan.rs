@@ -32,6 +32,7 @@
 //! wall-clock predictions — only their ordering matters.
 
 use super::{groups_by_load, sim_opts};
+use crate::disk_cache::MeasuredCosts;
 use crate::spec::{ExperimentSpec, FigureKind};
 use crate::{mix_cell_inputs, LcGroup};
 use jumanji::prelude::*;
@@ -83,18 +84,125 @@ pub fn experiment_cost(opts: &SimOptions) -> f64 {
     0.5 * run_cost(opts, DesignKind::Static)
 }
 
-/// Relative cost prior of running `design` on an experiment with
-/// `opts`: one unit per reconfiguration interval, scaled up for designs
-/// that solve a placement every interval.
-pub fn run_cost(opts: &SimOptions, design: DesignKind) -> f64 {
-    let intervals = (opts.duration.as_f64() / opts.reconfig.as_f64()).max(1.0);
-    let factor = match design {
+/// Reconfiguration intervals `opts` simulates — the unit both the
+/// static priors and the persisted measured durations normalize by.
+pub fn intervals_of(opts: &SimOptions) -> f64 {
+    (opts.duration.as_f64() / opts.reconfig.as_f64()).max(1.0)
+}
+
+/// The static prior for a design's per-interval cost relative to a
+/// Static run, calibrated once from the `timings` probes. Used whenever
+/// no measured data exists for the design.
+fn static_factor(design: DesignKind) -> f64 {
+    match design {
         DesignKind::Static => 1.0,
         DesignKind::Adaptive | DesignKind::VmPart => 1.15,
         DesignKind::Jigsaw => 1.45,
         DesignKind::Jumanji | DesignKind::JumanjiInsecure | DesignKind::JumanjiIdealBatch => 1.6,
-    };
-    intervals * factor
+    }
+}
+
+/// Relative cost prior of running `design` on an experiment with
+/// `opts`: one unit per reconfiguration interval, scaled up for designs
+/// that solve a placement every interval.
+pub fn run_cost(opts: &SimOptions, design: DesignKind) -> f64 {
+    intervals_of(opts) * static_factor(design)
+}
+
+/// One design's prior-vs-measured cost comparison, for the suite's
+/// drift report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostDrift {
+    /// The design.
+    pub design: DesignKind,
+    /// The static prior factor (relative to a Static run).
+    pub prior: f64,
+    /// The measured factor (mean µs-per-interval over the measured
+    /// Static mean).
+    pub measured: f64,
+    /// Samples behind the measured factor.
+    pub samples: u64,
+}
+
+/// The scheduler's cost estimates: the static priors above by default,
+/// replaced by measured per-design durations from the persistent store
+/// when the store has seen real runs.
+///
+/// Measured means are kept *relative* — each design's mean
+/// µs-per-interval over the measured Static mean — so partially
+/// measured tables blend with the unit-normalized static priors without
+/// mixing units, and the long-pole ordering (all that matters to the
+/// scheduler) reflects real hardware instead of a guess.
+#[derive(Debug, Clone, Default)]
+pub struct CostModel {
+    measured: MeasuredCosts,
+}
+
+impl CostModel {
+    /// A model using only the static priors.
+    pub fn priors() -> CostModel {
+        CostModel::default()
+    }
+
+    /// A model that prefers `measured` data where it exists.
+    pub fn from_measured(measured: MeasuredCosts) -> CostModel {
+        CostModel { measured }
+    }
+
+    /// True when at least one design's cost comes from measurement.
+    pub fn is_measured(&self) -> bool {
+        self.run_factor_measured(DesignKind::Static).is_some()
+    }
+
+    fn run_factor_measured(&self, design: DesignKind) -> Option<f64> {
+        let base = self.measured.mean_run_us(DesignKind::Static)?;
+        if base <= 0.0 {
+            return None;
+        }
+        Some(self.measured.mean_run_us(design)? / base)
+    }
+
+    fn run_factor(&self, design: DesignKind) -> f64 {
+        self.run_factor_measured(design)
+            .unwrap_or_else(|| static_factor(design))
+    }
+
+    /// Cost estimate for running `design` with `opts` (same unit as
+    /// [`run_cost`]; equal to it when nothing is measured).
+    pub fn run_cost(&self, opts: &SimOptions, design: DesignKind) -> f64 {
+        intervals_of(opts) * self.run_factor(design)
+    }
+
+    /// Cost estimate for constructing an experiment with `opts`.
+    pub fn experiment_cost(&self, opts: &SimOptions) -> f64 {
+        let factor = self
+            .measured
+            .mean_exp_us()
+            .and_then(|exp| {
+                let base = self.measured.mean_run_us(DesignKind::Static)?;
+                (base > 0.0).then(|| exp / base)
+            })
+            .unwrap_or(0.5);
+        intervals_of(opts) * factor
+    }
+
+    /// Prior-vs-measured drift, one row per design with measured data.
+    /// Empty when the model is running on priors alone.
+    pub fn drift(&self) -> Vec<CostDrift> {
+        DesignKind::all()
+            .into_iter()
+            .filter_map(|design| {
+                let measured = self.run_factor_measured(design)?;
+                let samples = self.measured.runs[crate::disk_cache::design_tag(design) as usize].0;
+                Some(CostDrift {
+                    design,
+                    prior: static_factor(design),
+                    measured,
+                    samples,
+                })
+            })
+            .collect()
+    }
 }
 
 /// `designs` with the Static baseline prepended (the matrix engine

@@ -423,8 +423,9 @@ pub fn run_spec_to(spec: &ExperimentSpec, out: &mut dyn Write) -> Result<(), Err
 }
 
 /// The whole `main` of a figure binary: parse argv/env (including the
-/// process-level `--no-cache` escape hatch), run, map errors to exit
-/// codes (usage → 2, runtime → 1).
+/// process-level `--no-cache` / `--cache-dir DIR` cache controls), run,
+/// persist the model memos to the disk store on success, and map errors
+/// to exit codes (usage → 2, runtime → 1).
 pub fn figure_main(kind: FigureKind) -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     crate::cell_cache::apply_cache_flags(&args);
@@ -436,7 +437,10 @@ pub fn figure_main(kind: FigureKind) -> ExitCode {
         }
     };
     match run_spec(&spec) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(()) => {
+            crate::cell_cache::persist_global_disk();
+            ExitCode::SUCCESS
+        }
         Err(e) => {
             eprintln!("{}: {e}", kind.name());
             ExitCode::from(if e.is_usage() { 2 } else { 1 })

@@ -33,7 +33,8 @@
 //! [`CellCache`]: crate::cell_cache::CellCache
 //! [`exec::sched`]: crate::exec::sched
 
-use crate::cell_cache::{run_key, CellCache, ExperimentHandle};
+use crate::cell_cache::{run_key, CellCache, ExperimentHandle, RunSource};
+use crate::disk_cache::MeasuredCosts;
 use crate::exec::sched::{self, Graph, GraphReport};
 use crate::figures::{self, plan};
 use crate::spec::{ExperimentSpec, FigureKind};
@@ -42,7 +43,7 @@ use jumanji::telemetry::NoopSink;
 use jumanji::types::Error;
 use jumanji::workloads::WorkloadMix;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -73,6 +74,17 @@ pub struct SchedReport {
     pub nodes: usize,
     /// Dependency edges in the graph.
     pub edges: usize,
+    /// Run nodes served straight from the persistent disk store.
+    pub disk_run_hits: u64,
+    /// Run nodes the scheduler actually simulated this call.
+    pub computed_runs: u64,
+    /// Experiment constructions skipped because every dependent run
+    /// cell was already warm (in memory or on disk).
+    pub warm_skipped_exps: u64,
+    /// Prior-vs-measured cost drift, one row per design with measured
+    /// data — what the long-pole priorities look like against the
+    /// static guesses (empty when nothing was ever measured).
+    pub drift: Vec<plan::CostDrift>,
     /// Pool execution measurements.
     pub graph: GraphReport,
 }
@@ -110,22 +122,32 @@ struct Union {
     node_figures: Vec<Vec<u32>>,
     /// Per-figure node count (the countdown's starting value).
     figure_nodes: Vec<usize>,
+    /// Per-node reconfiguration-interval count — the unit measured node
+    /// durations are normalized by before they feed the cost store.
+    intervals: Vec<u64>,
+    /// For each `Exp` node: the run keys of its dependent `Run` nodes,
+    /// so the scheduler can probe whether *every* consumer is already
+    /// warm and skip the construction entirely. Empty for `Run` nodes.
+    run_keys: Vec<Vec<u128>>,
     /// Total planned design runs before deduplication.
     planned_runs: usize,
 }
 
-/// Unions figure plans into one deduplicated graph. Nodes are keyed by
-/// the cell cache's content fingerprints, so two figures (or two cells
-/// of one figure) wanting the same work share a node; node ids grow in
-/// figure order, which the scheduler uses as its priority tie-break so
-/// earlier-requested figures drain first.
-fn union_plans(plans: &[plan::FigurePlan]) -> Union {
+/// Unions figure plans into one deduplicated graph, costed by `model`
+/// (static priors, or measured per-design durations on warm runs).
+/// Nodes are keyed by the cell cache's content fingerprints, so two
+/// figures (or two cells of one figure) wanting the same work share a
+/// node; node ids grow in figure order, which the scheduler uses as its
+/// priority tie-break so earlier-requested figures drain first.
+fn union_plans(plans: &[plan::FigurePlan], model: &plan::CostModel) -> Union {
     let mut u = Union {
         nodes: Vec::new(),
         costs: Vec::new(),
         deps: Vec::new(),
         node_figures: Vec::new(),
         figure_nodes: vec![0; plans.len()],
+        intervals: Vec::new(),
+        run_keys: Vec::new(),
         planned_runs: 0,
     };
     let mut exp_ids: HashMap<u128, u32> = HashMap::new();
@@ -134,6 +156,7 @@ fn union_plans(plans: &[plan::FigurePlan]) -> Union {
         let f32u = f as u32;
         for cell in &plan.cells {
             u.planned_runs += cell.designs.len();
+            let intervals = plan::intervals_of(&cell.opts).round() as u64;
             let ekey = cell.experiment_key();
             let exp_id = *exp_ids.entry(ekey).or_insert_with(|| {
                 let id = u.nodes.len() as u32;
@@ -142,9 +165,11 @@ fn union_plans(plans: &[plan::FigurePlan]) -> Union {
                     load: cell.load,
                     opts: cell.opts.clone(),
                 })));
-                u.costs.push(plan::experiment_cost(&cell.opts));
+                u.costs.push(model.experiment_cost(&cell.opts));
                 u.deps.push(Vec::new());
                 u.node_figures.push(Vec::new());
+                u.intervals.push(intervals);
+                u.run_keys.push(Vec::new());
                 id
             });
             if u.node_figures[exp_id as usize].last() != Some(&f32u) {
@@ -153,17 +178,23 @@ fn union_plans(plans: &[plan::FigurePlan]) -> Union {
             }
             for &design in &cell.designs {
                 let rkey = run_key(ekey, design);
+                let fresh = !run_ids.contains_key(&rkey);
                 let run_id = *run_ids.entry(rkey).or_insert_with(|| {
                     let id = u.nodes.len() as u32;
                     u.nodes.push(Node::Run {
                         exp: exp_id,
                         design,
                     });
-                    u.costs.push(plan::run_cost(&cell.opts, design));
+                    u.costs.push(model.run_cost(&cell.opts, design));
                     u.deps.push(vec![exp_id]);
                     u.node_figures.push(Vec::new());
+                    u.intervals.push(intervals);
+                    u.run_keys.push(Vec::new());
                     id
                 });
+                if fresh {
+                    u.run_keys[exp_id as usize].push(rkey);
+                }
                 if u.node_figures[run_id as usize].last() != Some(&f32u) {
                     u.node_figures[run_id as usize].push(f32u);
                     u.figure_nodes[f] += 1;
@@ -269,7 +300,15 @@ pub fn run_suite(
     }
 
     let plans: Vec<plan::FigurePlan> = specs.iter().map(plan::of).collect::<Result<_, _>>()?;
-    let union = union_plans(&plans);
+    // Cost the graph with measured durations from the persistent store
+    // when it has seen real runs; the static priors otherwise.
+    let loaded_costs = cache.disk().map(|d| d.load_costs()).unwrap_or_default();
+    let model = if loaded_costs.is_empty() {
+        plan::CostModel::priors()
+    } else {
+        plan::CostModel::from_measured(loaded_costs)
+    };
+    let union = union_plans(&plans, &model);
     let graph = Graph::new(&union.costs, union.deps.clone());
     let progress = Progress {
         state: Mutex::new(ProgressState {
@@ -287,11 +326,32 @@ pub fn run_suite(
     // Incremented *before* the lookup so a straddling node can only
     // under-count a render's misses, never invent one.
     let sched_lookups = AtomicU64::new(0);
+    // What each node actually did, written by the workers and read
+    // after the pool drains: only COMPUTED nodes feed their measured
+    // duration back into the persistent cost table (warm nodes finish
+    // in microseconds and would poison the priors).
+    const WARM: u8 = 0;
+    const COMPUTED: u8 = 1;
+    const FROM_DISK: u8 = 2;
+    let node_state: Vec<AtomicU8> = (0..union.nodes.len())
+        .map(|_| AtomicU8::new(WARM))
+        .collect();
 
     let run_node = |i: usize| {
         match &union.nodes[i] {
             Node::Exp(cell) => {
                 let handle = cache.experiment(cell.mix.clone(), cell.load, cell.opts.clone());
+                // Warm start: when every dependent run cell is already
+                // resident (in memory or on disk), the construction is
+                // pure waste — leave the handle lazy and let the run
+                // nodes serve from cache. Tracing bypasses cache reads,
+                // so a traced suite always constructs.
+                let cold =
+                    tel.enabled() || union.run_keys[i].iter().any(|&rk| !cache.probe_run(rk));
+                if cold {
+                    cache.force_experiment(&handle);
+                    node_state[i].store(COMPUTED, Ordering::Relaxed);
+                }
                 slots[i].set(handle).expect("each node runs once");
             }
             Node::Run { exp, design } => {
@@ -299,7 +359,13 @@ pub fn run_suite(
                     .get()
                     .expect("dependency completed first");
                 sched_lookups.fetch_add(1, Ordering::SeqCst);
-                cache.run(handle, *design, tel);
+                let (_, source) = cache.run_sourced(handle, *design, tel);
+                let state = match source {
+                    RunSource::Computed => COMPUTED,
+                    RunSource::Disk => FROM_DISK,
+                    RunSource::Memory => WARM,
+                };
+                node_state[i].store(state, Ordering::Relaxed);
             }
         }
         let mut st = progress.state.lock().expect("progress lock");
@@ -355,12 +421,55 @@ pub fn run_suite(
     if let Some(e) = emit_err {
         return Err(e);
     }
+    let graph_report = graph_report.into_inner().expect("report lock");
+
+    // Feed the durations of genuinely computed nodes back into the
+    // persistent cost table, so the *next* run's long-pole priorities
+    // come from measurement instead of the static guesses.
+    let mut measured = MeasuredCosts::default();
+    let mut disk_run_hits = 0u64;
+    let mut computed_runs = 0u64;
+    let mut warm_skipped_exps = 0u64;
+    if graph_report.node_us.len() == union.nodes.len() {
+        for (i, node) in union.nodes.iter().enumerate() {
+            let state = node_state[i].load(Ordering::Relaxed);
+            match node {
+                Node::Exp(_) => {
+                    if state == COMPUTED {
+                        measured.record_exp(union.intervals[i], graph_report.node_us[i]);
+                    } else {
+                        warm_skipped_exps += 1;
+                    }
+                }
+                Node::Run { design, .. } => match state {
+                    COMPUTED => {
+                        computed_runs += 1;
+                        measured.record_run(*design, union.intervals[i], graph_report.node_us[i]);
+                    }
+                    FROM_DISK => disk_run_hits += 1,
+                    _ => {}
+                },
+            }
+        }
+    }
+    let mut combined = loaded_costs;
+    combined.merge(&measured);
+    if let Some(disk) = cache.disk() {
+        if !measured.is_empty() {
+            disk.merge_costs(&measured);
+        }
+    }
+
     report.total_seconds = start.elapsed().as_secs_f64();
     report.sched = Some(SchedReport {
         planned_runs: union.planned_runs,
         nodes: graph.len(),
         edges: graph.edges(),
-        graph: graph_report.into_inner().expect("report lock"),
+        disk_run_hits,
+        computed_runs,
+        warm_skipped_exps,
+        drift: plan::CostModel::from_measured(combined).drift(),
+        graph: graph_report,
     });
     Ok(report)
 }
@@ -382,8 +491,8 @@ mod tests {
         // exactly one figure's worth of unique nodes.
         let specs = specs_of(&[FigureKind::Fig13, FigureKind::Fig14], 2);
         let plans: Vec<_> = specs.iter().map(|s| plan::of(s).unwrap()).collect();
-        let both = union_plans(&plans);
-        let alone = union_plans(&plans[..1]);
+        let both = union_plans(&plans, &plan::CostModel::priors());
+        let alone = union_plans(&plans[..1], &plan::CostModel::priors());
         assert_eq!(both.nodes.len(), alone.nodes.len());
         assert_eq!(both.planned_runs, 2 * alone.planned_runs);
         // Every node is needed by both figures.
@@ -395,7 +504,7 @@ mod tests {
     fn union_runs_depend_on_their_experiment() {
         let specs = specs_of(&[FigureKind::Fig05], 1);
         let plans: Vec<_> = specs.iter().map(|s| plan::of(s).unwrap()).collect();
-        let u = union_plans(&plans);
+        let u = union_plans(&plans, &plan::CostModel::priors());
         // One experiment node + five design runs on it.
         assert_eq!(u.nodes.len(), 6);
         for (i, node) in u.nodes.iter().enumerate() {
@@ -417,7 +526,7 @@ mod tests {
         // earlier-requested figures for streaming.
         let specs = specs_of(&[FigureKind::Fig05, FigureKind::Fig18], 1);
         let plans: Vec<_> = specs.iter().map(|s| plan::of(s).unwrap()).collect();
-        let u = union_plans(&plans);
+        let u = union_plans(&plans, &plan::CostModel::priors());
         let first_fig18 = u
             .node_figures
             .iter()

@@ -1,0 +1,139 @@
+//! Integration tests for the disk-backed cell store, driven through the
+//! [`CellCache`] exactly as the figure binaries drive it.
+//!
+//! The contract under test: whatever happens to the cache files —
+//! truncation, bit flips, a different format version, two processes
+//! racing to write the same cell — a reader either gets the cached
+//! result byte-identical to a fresh computation, or silently recomputes
+//! it. Never a panic, never a wrong answer.
+
+use jumanji::core::DesignKind;
+use jumanji::sim::SimOptions;
+use jumanji::telemetry::NoopSink;
+use jumanji::types::Seconds;
+use jumanji::workloads::{case_study_mix, LcLoad};
+use jumanji_bench::cell_cache::{experiment_key, run_key, CellCache, RunSource};
+use jumanji_bench::DiskCache;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn quick_opts() -> SimOptions {
+    SimOptions {
+        duration: Seconds(0.4),
+        ..SimOptions::default()
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("jumanji-disk-it-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A fresh in-memory cache backed by the store at `dir` — the moral
+/// equivalent of a new process pointed at `--cache-dir dir`.
+fn cache_with(dir: &Path) -> CellCache {
+    let cache = CellCache::new();
+    cache.attach_disk(Arc::new(DiskCache::open(dir).expect("open store")));
+    cache
+}
+
+/// Runs the one cell every test here uses and reports where the result
+/// came from.
+fn run_cell(cache: &CellCache) -> (String, RunSource) {
+    let handle = cache.experiment(case_study_mix(7), LcLoad::High, quick_opts());
+    let (result, source) = cache.run_sourced(&handle, DesignKind::Jumanji, &NoopSink);
+    (format!("{result:?}"), source)
+}
+
+/// The on-disk path of that cell's run entry.
+fn run_file(dir: &Path) -> PathBuf {
+    let key = run_key(
+        experiment_key(&case_study_mix(7), LcLoad::High, &quick_opts()),
+        DesignKind::Jumanji,
+    );
+    dir.join("runs").join(format!("{key:032x}.bin"))
+}
+
+/// Asserts that a reader over the damaged store recomputes the cell
+/// with output identical to `reference`, drops the corrupt file, and
+/// leaves the store warm again for the next reader.
+fn assert_recovers(dir: &Path, reference: &str, what: &str) {
+    let cache = cache_with(dir);
+    let (out, source) = run_cell(&cache);
+    assert_eq!(source, RunSource::Computed, "{what}: must fall back");
+    assert_eq!(out, reference, "{what}: recomputed output must match");
+    let disk = cache.stats().disk.expect("disk attached");
+    assert_eq!(disk.corrupt_dropped, 1, "{what}: corrupt entry dropped");
+    assert!(disk.writes >= 1, "{what}: recomputed cell rewritten");
+
+    // The rewrite healed the store: the next reader is warm.
+    let (out, source) = run_cell(&cache_with(dir));
+    assert_eq!(source, RunSource::Disk, "{what}: store must heal");
+    assert_eq!(out, reference);
+}
+
+#[test]
+fn corrupt_entries_recompute_identically() {
+    let dir = temp_dir("corrupt");
+    let (reference, source) = run_cell(&cache_with(&dir));
+    assert_eq!(source, RunSource::Computed);
+    let file = run_file(&dir);
+    let pristine = std::fs::read(&file).expect("cold run wrote the entry");
+
+    // Truncated entry (interrupted write without the atomic rename).
+    std::fs::write(&file, &pristine[..pristine.len() / 2]).expect("truncate");
+    assert_recovers(&dir, &reference, "truncated");
+
+    // Bit flip in the payload: the envelope checksum catches it.
+    let mut flipped = pristine.clone();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 0x40;
+    std::fs::write(&file, &flipped).expect("flip");
+    assert_recovers(&dir, &reference, "bad checksum");
+
+    // An entry from a different format version (bytes 4..6 of the
+    // envelope hold the little-endian version).
+    let mut other_version = pristine.clone();
+    other_version[4] ^= 0xFF;
+    std::fs::write(&file, &other_version).expect("reversion");
+    assert_recovers(&dir, &reference, "wrong version");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_writers_never_leave_torn_cells() {
+    let dir = temp_dir("race");
+    // Two independent caches (own memory, own store handle — the moral
+    // equivalent of two processes) compute and persist the same cell
+    // concurrently.
+    let results: Vec<String> = std::thread::scope(|scope| {
+        let dir = &dir;
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                scope.spawn(move || {
+                    let (out, _) = run_cell(&cache_with(dir));
+                    out
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("writer thread"))
+            .collect()
+    });
+    assert_eq!(results[0], results[1], "racing writers must agree");
+
+    // Whoever won the rename, the surviving entry is valid and
+    // byte-identical to both computations.
+    let cache = cache_with(&dir);
+    let (out, source) = run_cell(&cache);
+    assert_eq!(source, RunSource::Disk, "store must be warm after the race");
+    assert_eq!(out, results[0]);
+    assert_eq!(
+        cache.stats().disk.expect("disk attached").corrupt_dropped,
+        0
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

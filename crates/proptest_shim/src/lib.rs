@@ -4,9 +4,12 @@
 //! Like the `rand` shim, this exists so `cargo test` works with
 //! `--offline` on machines with no crates.io mirror. It keeps proptest's
 //! *interface* — [`Strategy`], `proptest::collection::vec`, the
-//! [`proptest!`]/[`prop_assert!`]/[`prop_assume!`] macros — but trades
-//! away shrinking: a failing case reports its inputs (via the assertion
-//! message) and the deterministic per-test seed, without minimization.
+//! [`proptest!`]/[`prop_assert!`]/[`prop_assume!`] macros — and a basic
+//! greedy shrinker: when a case fails, [`Strategy::shrink`] proposes
+//! simplifications (integers halve toward the range floor, vectors drop
+//! halves and single elements, tuples shrink componentwise) and the
+//! runner descends into the first candidate that still fails, reporting
+//! both the original and the minimal failing input.
 //!
 //! Case generation is deterministic: each test's RNG is seeded from a
 //! hash of its fully-qualified name, so failures reproduce across runs
@@ -87,6 +90,14 @@ pub trait Strategy {
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Candidate simplifications of a failing `value`, simplest first.
+    /// The runner descends into the first candidate that still fails
+    /// the property. The default proposes nothing (no shrinking) —
+    /// sound for any strategy, just unhelpfully verbose.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
@@ -103,12 +114,18 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn generate(&self, rng: &mut TestRng) -> S::Value {
         (**self).generate(rng)
     }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        (**self).shrink(value)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for Box<S> {
     type Value = S::Value;
     fn generate(&self, rng: &mut TestRng) -> S::Value {
         (**self).generate(rng)
+    }
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        (**self).shrink(value)
     }
 }
 
@@ -151,6 +168,13 @@ impl<T> Strategy for OneOf<T> {
         let i = rng.below(0, self.0.len());
         self.0[i].generate(rng)
     }
+    /// Every arm may propose shrinks; arms validate their own
+    /// candidates (a range arm only proposes in-range values), so
+    /// suggestions from the arm that did not generate `value` are still
+    /// sound — just possibly useless.
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.0.iter().flat_map(|arm| arm.shrink(value)).collect()
+    }
 }
 
 macro_rules! int_strategy {
@@ -163,6 +187,19 @@ macro_rules! int_strategy {
                 let v = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
                 self.start + v as $t
             }
+            /// Binary descent toward the range floor: the floor itself,
+            /// the midpoint, and one step down.
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                if self.contains(value) && *value > self.start {
+                    out.push(self.start);
+                    let mid = self.start + (*value - self.start) / 2;
+                    out.push(mid);
+                    out.push(*value - 1);
+                    out.dedup();
+                }
+                out
+            }
         }
     )*};
 }
@@ -174,26 +211,51 @@ impl Strategy for core::ops::Range<f64> {
         assert!(self.start < self.end, "empty strategy range");
         self.start + (self.end - self.start) * rng.unit_f64()
     }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        if self.contains(value) && *value > self.start {
+            out.push(self.start);
+            let mid = self.start + (*value - self.start) / 2.0;
+            if mid > self.start && mid < *value {
+                out.push(mid);
+            }
+        }
+        out
+    }
 }
 
 macro_rules! tuple_strategy {
-    ($(($($name:ident),+))+) => {$(
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($(($($name:ident . $idx:tt),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
-            #[allow(non_snake_case)]
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
-                let ($($name,)+) = self;
-                ($($name.generate(rng),)+)
+                ($(self.$idx.generate(rng),)+)
+            }
+            /// Componentwise: each component's candidates with the
+            /// others held fixed.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )+};
 }
 tuple_strategy! {
-    (A)
-    (A, B)
-    (A, B, C)
-    (A, B, C, D)
-    (A, B, C, D, E)
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
 }
 
 /// Collection strategies (`proptest::collection::vec`).
@@ -239,11 +301,41 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let n = rng.below(self.size.lo, self.size.hi);
             (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+        /// Structural shrinks first (keep either half, drop one
+        /// element), then elementwise shrinks — all respecting the size
+        /// floor.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let n = value.len();
+            if n > self.size.lo {
+                let target = self.size.lo.max(n / 2);
+                if target < n {
+                    out.push(value[..target].to_vec());
+                    out.push(value[n - target..].to_vec());
+                }
+                for i in 0..n {
+                    let mut next = value.clone();
+                    next.remove(i);
+                    out.push(next);
+                }
+            }
+            for (i, v) in value.iter().enumerate() {
+                for cand in self.elem.shrink(v) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 
@@ -256,11 +348,53 @@ pub mod collection {
     }
 }
 
-/// Runs one proptest-style test function body. Used by the [`proptest!`]
-/// macro expansion; not part of the public proptest API.
-pub fn run_cases<G>(name: &str, config: ProptestConfig, mut generate: G)
+/// Evaluation budget of the greedy shrink loop: total candidates tried
+/// across all rounds, so a slow property can't hang minimization.
+const SHRINK_BUDGET: u32 = 500;
+
+/// Greedy minimization: repeatedly take the first [`Strategy::shrink`]
+/// candidate that still fails, until none does or the budget runs out.
+/// Returns the minimal failing value, its failure message, and how many
+/// shrink steps were taken.
+fn shrink_failure<S, F>(
+    strategy: &S,
+    test: &F,
+    mut current: S::Value,
+    mut msg: String,
+) -> (S::Value, String, u32)
 where
-    G: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    S: Strategy,
+    S::Value: Clone,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut steps = 0u32;
+    let mut budget = SHRINK_BUDGET;
+    'descend: loop {
+        for cand in strategy.shrink(&current) {
+            if budget == 0 {
+                break 'descend;
+            }
+            budget -= 1;
+            if let Err(TestCaseError::Fail(m)) = test(cand.clone()) {
+                current = cand;
+                msg = m;
+                steps += 1;
+                continue 'descend;
+            }
+        }
+        break;
+    }
+    (current, msg, steps)
+}
+
+/// Runs one proptest-style test over `strategy`, minimizing any failure
+/// before reporting it. Used by the [`proptest!`] macro expansion; not
+/// part of the public proptest API.
+pub fn run_cases<S, F>(name: &str, config: ProptestConfig, strategy: S, test: F)
+where
+    S: Strategy,
+    S::Value: Clone + core::fmt::Debug,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
 {
     let mut rng = TestRng::from_name(name);
     let mut accepted = 0u32;
@@ -273,11 +407,26 @@ where
             "{name}: too many rejected cases ({accepted}/{} accepted after {attempts} attempts)",
             config.cases
         );
-        match generate(&mut rng) {
+        let value = strategy.generate(&mut rng);
+        match test(value.clone()) {
             Ok(()) => accepted += 1,
             Err(TestCaseError::Reject) => continue,
             Err(TestCaseError::Fail(msg)) => {
-                panic!("{name}: case {} failed: {msg}", accepted + 1)
+                let (minimal, min_msg, steps) =
+                    shrink_failure(&strategy, &test, value.clone(), msg.clone());
+                if steps == 0 {
+                    panic!(
+                        "{name}: case {} failed: {msg}\n    input: {value:?}",
+                        accepted + 1
+                    );
+                }
+                panic!(
+                    "{name}: case {} failed: {min_msg}\n    \
+                     minimal input (after {steps} shrinks): {minimal:?}\n    \
+                     original input: {value:?}\n    \
+                     original failure: {msg}",
+                    accepted + 1
+                );
             }
         }
     }
@@ -307,13 +456,14 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let full_name = concat!(module_path!(), "::", stringify!($name));
-            $crate::run_cases(full_name, $cfg, |__rng| {
-                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)*
-                let mut __run = move || -> ::core::result::Result<(), $crate::TestCaseError> {
-                    $body
-                    ::core::result::Result::Ok(())
-                };
-                __run()
+            // All arguments bundle into one tuple strategy so the
+            // runner can shrink the whole input vector componentwise.
+            let __strategy = ($($strat,)*);
+            $crate::run_cases(full_name, $cfg, __strategy, |__value| {
+                #[allow(unused_parens)]
+                let ($($arg,)*) = __value;
+                $body
+                ::core::result::Result::Ok(())
             });
         }
         $crate::__proptest_items!(($cfg) $($rest)*);
@@ -462,8 +612,90 @@ mod tests {
     #[test]
     #[should_panic(expected = "case")]
     fn failing_property_panics() {
-        crate::run_cases("always_fails", ProptestConfig::with_cases(4), |_rng| {
-            Err(TestCaseError::Fail("expected".to_string()))
-        });
+        crate::run_cases(
+            "always_fails",
+            ProptestConfig::with_cases(4),
+            (0u64..100,),
+            |_| Err(TestCaseError::Fail("expected".to_string())),
+        );
+    }
+
+    #[test]
+    fn integer_shrink_is_binary_descent_to_the_floor() {
+        let strat = 3u64..1000;
+        // Candidates: floor, midpoint, one step down — all in range.
+        let cands = Strategy::shrink(&strat, &97);
+        assert_eq!(cands, vec![3, 50, 96]);
+        // The floor itself has nowhere to go.
+        assert!(Strategy::shrink(&strat, &3).is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_respects_the_size_floor() {
+        let strat = crate::collection::vec(0u64..10, 2..9);
+        let cands = Strategy::shrink(&strat, &vec![7, 8, 9, 1]);
+        // Halves first: keep-front and keep-back of length max(2, 4/2).
+        assert_eq!(cands[0], vec![7, 8]);
+        assert_eq!(cands[1], vec![9, 1]);
+        // Then drop-one at every position.
+        assert!(cands.contains(&vec![8, 9, 1]));
+        assert!(cands.contains(&vec![7, 8, 9]));
+        // Every structural candidate meets the floor.
+        assert!(cands.iter().all(|v| v.len() >= 2));
+        // At the floor, only elementwise shrinks remain.
+        let at_floor = Strategy::shrink(&strat, &vec![5, 0]);
+        assert!(at_floor.iter().all(|v| v.len() == 2));
+    }
+
+    #[test]
+    fn greedy_shrink_finds_the_minimal_integer() {
+        // Property: x < 10 holds. The minimal counterexample is 10.
+        let strat = (0u64..1000,);
+        let test = |(x,): (u64,)| -> Result<(), TestCaseError> {
+            if x >= 10 {
+                Err(TestCaseError::Fail(format!("{x} too big")))
+            } else {
+                Ok(())
+            }
+        };
+        let (minimal, msg, steps) =
+            crate::shrink_failure(&strat, &test, (977,), "977 too big".to_string());
+        assert_eq!(minimal, (10,));
+        assert_eq!(msg, "10 too big");
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn greedy_shrink_minimizes_vectors_structurally() {
+        // Property: fewer than 3 elements. Minimal length is 3.
+        let strat = (crate::collection::vec(0u64..100, 0..20),);
+        let test = |(v,): (Vec<u64>,)| -> Result<(), TestCaseError> {
+            if v.len() >= 3 {
+                Err(TestCaseError::Fail("too long".to_string()))
+            } else {
+                Ok(())
+            }
+        };
+        let start = vec![17, 4, 99, 23, 56, 8, 71, 42];
+        let (minimal, _, _) =
+            crate::shrink_failure(&strat, &test, (start,), "too long".to_string());
+        assert_eq!(minimal.0.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "minimal input")]
+    fn failing_property_reports_minimal_input() {
+        crate::run_cases(
+            "shrinks_to_minimum",
+            ProptestConfig::with_cases(16),
+            (0u64..1_000_000,),
+            |(x,)| {
+                if x >= 5 {
+                    Err(TestCaseError::Fail(format!("{x} >= 5")))
+                } else {
+                    Ok(())
+                }
+            },
+        );
     }
 }

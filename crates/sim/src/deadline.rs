@@ -53,6 +53,20 @@ pub fn deadline_cycles(profile: &LcProfile, cfg: &SystemConfig) -> f64 {
     DEADLINES.get_or_compute(key, || deadline_cycles_uncached(profile, cfg))
 }
 
+/// Every completed entry of the deadline memo, for persisting it to a
+/// disk-backed store. Keys are the same content fingerprints
+/// [`deadline_cycles`] computes from its inputs.
+pub fn export_deadlines() -> Vec<(u128, f64)> {
+    DEADLINES.snapshot()
+}
+
+/// Warm-starts the deadline memo with an entry loaded from a persistent
+/// store. Never clobbers a deadline this process already computed, and
+/// counts neither a hit nor a miss.
+pub fn seed_deadline(key: u128, cycles: f64) {
+    DEADLINES.seed(key, cycles);
+}
+
 fn deadline_cycles_uncached(profile: &LcProfile, cfg: &SystemConfig) -> f64 {
     let service = isolation_service_cycles(profile, cfg);
     let interarrival = profile.interarrival_cycles(LcLoad::High, cfg.freq_hz);

@@ -43,6 +43,6 @@ pub mod queueing;
 mod runner;
 
 pub use runner::{
-    compute_ratio_hull, exact_ratio_hull, ratio_hull_cache_stats, Experiment, ExperimentResult,
-    IntervalRecord, Migration, SimApp, SimOptions,
+    compute_ratio_hull, exact_ratio_hull, export_ratio_hulls, ratio_hull_cache_stats,
+    seed_ratio_hull, Experiment, ExperimentResult, IntervalRecord, Migration, SimApp, SimOptions,
 };

@@ -812,6 +812,20 @@ pub fn ratio_hull_cache_stats() -> nuca_types::MapStats {
     RATIO_HULLS.stats()
 }
 
+/// Every completed entry of the ratio-hull memo, for persisting it to a
+/// disk-backed store. Keys are the same content fingerprints
+/// [`exact_ratio_hull`] computes from its inputs.
+pub fn export_ratio_hulls() -> Vec<(u128, Arc<MissCurve>)> {
+    RATIO_HULLS.snapshot()
+}
+
+/// Warm-starts the ratio-hull memo with an entry loaded from a
+/// persistent store. Never clobbers a hull this process already
+/// computed, and counts neither a hit nor a miss.
+pub fn seed_ratio_hull(key: u128, hull: Arc<MissCurve>) {
+    RATIO_HULLS.seed(key, hull);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -101,6 +101,21 @@ pub enum Event {
         /// Entries resident at snapshot time.
         entries: u64,
     },
+    /// Counter totals of the persistent disk-backed cell store, emitted
+    /// once when a figure or suite run finishes with `--cache-dir`
+    /// attached, so traces record how much the warm start saved.
+    DiskCacheStats {
+        /// Entries served from disk.
+        hits: u64,
+        /// Lookups that found no (valid) entry on disk.
+        misses: u64,
+        /// Entries successfully written.
+        writes: u64,
+        /// Cache files deleted (corruption evictions).
+        evictions: u64,
+        /// Entries dropped for failing envelope or payload validation.
+        corrupt_dropped: u64,
+    },
     /// Per-bank contention counters from one detailed-simulator run.
     DetailBank {
         /// Bank index.
@@ -177,6 +192,7 @@ impl Event {
             Event::RunSummary { .. } => "run_summary",
             Event::WorkerSpan { .. } => "worker_span",
             Event::CacheStats { .. } => "cache_stats",
+            Event::DiskCacheStats { .. } => "disk_cache_stats",
             Event::DetailBank { .. } => "detail_bank",
             Event::SchedSteal { .. } => "sched_steal",
             Event::SchedQueue { .. } => "sched_queue",
@@ -271,6 +287,19 @@ impl Event {
                 uint(&mut s, "hits", *hits);
                 uint(&mut s, "misses", *misses);
                 uint(&mut s, "entries", *entries);
+            }
+            Event::DiskCacheStats {
+                hits,
+                misses,
+                writes,
+                evictions,
+                corrupt_dropped,
+            } => {
+                uint(&mut s, "hits", *hits);
+                uint(&mut s, "misses", *misses);
+                uint(&mut s, "writes", *writes);
+                uint(&mut s, "evictions", *evictions);
+                uint(&mut s, "corrupt_dropped", *corrupt_dropped);
             }
             Event::DetailBank {
                 bank,
@@ -561,5 +590,24 @@ mod tests {
         assert!(j.contains("\"hits\":12"), "{j}");
         assert!(j.contains("\"misses\":4"), "{j}");
         assert!(j.contains("\"entries\":4"), "{j}");
+    }
+
+    #[test]
+    fn disk_cache_stats_serializes_every_counter() {
+        let e = Event::DiskCacheStats {
+            hits: 9,
+            misses: 3,
+            writes: 7,
+            evictions: 1,
+            corrupt_dropped: 2,
+        };
+        assert_eq!(e.kind(), "disk_cache_stats");
+        let j = e.to_json();
+        assert!(j.starts_with("{\"event\":\"disk_cache_stats\""), "{j}");
+        assert!(j.contains("\"hits\":9"), "{j}");
+        assert!(j.contains("\"misses\":3"), "{j}");
+        assert!(j.contains("\"writes\":7"), "{j}");
+        assert!(j.contains("\"evictions\":1"), "{j}");
+        assert!(j.contains("\"corrupt_dropped\":2"), "{j}");
     }
 }

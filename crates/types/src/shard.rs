@@ -166,6 +166,36 @@ where
         self.misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Stores `value` under `key` only if no value is resident yet,
+    /// without touching the hit/miss counters. This is the warm-start
+    /// path: entries loaded from a persistent store are neither hits nor
+    /// misses of *this* process, and a seed must never clobber a value a
+    /// thread has already computed (or raced to).
+    pub fn seed(&self, key: K, value: V) {
+        let mut shard = self.shard(&key).lock().expect("sharded map lock");
+        let slot = Arc::clone(shard.entry(key).or_default());
+        drop(shard);
+        let _ = slot.set(value);
+    }
+
+    /// A snapshot of every completed entry, for persisting the map.
+    /// In-flight computations are skipped.
+    pub fn snapshot(&self) -> Vec<(K, V)>
+    where
+        K: Clone,
+    {
+        self.shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("sharded map lock")
+                    .iter()
+                    .filter_map(|(k, slot)| slot.get().map(|v| (k.clone(), v.clone())))
+                    .collect::<Vec<_>>()
+            })
+            .collect()
+    }
+
     /// Number of entries whose computation has completed.
     pub fn len(&self) -> usize {
         self.shards
@@ -272,6 +302,23 @@ mod tests {
         map.clear();
         assert!(map.is_empty());
         assert_eq!(map.stats(), MapStats::default());
+    }
+
+    #[test]
+    fn seed_and_snapshot_bypass_the_counters() {
+        let map: ShardedMap<u64, u64> = ShardedMap::new();
+        map.seed(1, 10);
+        map.seed(2, 20);
+        // Seeding does not count as a hit or a miss.
+        assert_eq!(map.stats().hits + map.stats().misses, 0);
+        // A seeded entry serves later lookups as a hit.
+        assert_eq!(map.get_or_compute(1, || unreachable!()), 10);
+        // Seeding never clobbers a resident value.
+        map.seed(1, 99);
+        assert_eq!(map.get(&1), Some(10));
+        let mut snap = map.snapshot();
+        snap.sort_unstable();
+        assert_eq!(snap, vec![(1, 10), (2, 20)]);
     }
 
     #[test]

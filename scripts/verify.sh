@@ -94,6 +94,25 @@ echo "== --no-cache output is byte-identical to the cached suite"
 cmp "$tmp/suite_nc/fig13.tsv" "$tmp/s13.tsv"
 cmp "$tmp/suite_nc/fig14.tsv" "$tmp/s14.tsv"
 
+echo "== warm disk cache is byte-identical to cold (five figures)"
+disk_figs=fig05,fig09,fig13,fig14,fig16
+./target/release/suite --figures "$disk_figs" --mixes 2 --threads 4 \
+    --cache-dir "$tmp/store" --out "$tmp/disk_cold" 2>"$tmp/disk_cold.log"
+./target/release/suite --figures "$disk_figs" --mixes 2 --threads 4 \
+    --cache-dir "$tmp/store" --out "$tmp/disk_warm" 2>"$tmp/disk_warm.log"
+./target/release/suite --figures "$disk_figs" --mixes 2 --threads 4 \
+    --no-cache --out "$tmp/disk_nc" 2>/dev/null
+for f in fig05 fig09 fig13 fig14 fig16; do
+    cmp "$tmp/disk_cold/$f.tsv" "$tmp/disk_warm/$f.tsv"
+    cmp "$tmp/disk_cold/$f.tsv" "$tmp/disk_nc/$f.tsv"
+done
+
+echo "== warm suite run reports disk hits and zero computed runs"
+grep -Eq '\[suite\] disk cache: [1-9][0-9]* hits' "$tmp/disk_warm.log"
+grep -Eq '\[suite\] sched: 0 runs computed, [1-9][0-9]* served from disk' \
+    "$tmp/disk_warm.log"
+grep -Eq '\[suite\] disk cache: 0 hits' "$tmp/disk_cold.log"
+
 echo "== every figure binary runs at --mixes 1 (spec-wrapper smoke test)"
 for fig in fig02 fig04 fig05 fig08 fig09 fig11 fig12 fig13 fig14 fig15 \
            fig16 fig17 fig18 table2 table3 ablation sensitivity validate; do
