@@ -169,7 +169,11 @@ fn detailed_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("detail_sim");
     group.throughput(Throughput::Elements(2_000 * 20));
     group.bench_function("full_system_accesses", |b| {
-        b.iter(|| black_box(run_detailed(&opts, &profiles, &cores, &vms, &alloc)))
+        b.iter(|| {
+            black_box(run_detailed(
+                &opts, &profiles, &cores, &vms, &alloc, &NoopSink,
+            ))
+        })
     });
     group.finish();
 }

@@ -107,7 +107,7 @@ fn main() -> ExitCode {
         ..SimOptions::default()
     };
     let exp = Experiment::new(mix, load, opts);
-    let r = exp.run(design);
+    let r = exp.run(design, &NoopSink);
 
     println!("design: {design}");
     println!(
@@ -131,7 +131,7 @@ fn main() -> ExitCode {
         );
     }
     if baseline {
-        let stat = exp.run(DesignKind::Static);
+        let stat = exp.run(DesignKind::Static, &NoopSink);
         println!(
             "\nbatch weighted speedup vs Static: {:+.2}%",
             (r.weighted_speedup_vs(&stat) - 1.0) * 100.0

@@ -15,7 +15,8 @@
 //! ```text
 //! suite [--figures all|fig13,fig14,…] [--out DIR] [--stats PATH]
 //!       [--mixes N] [--threads N] [--seed N] [--accesses N]
-//!       [--trace PATH] [--no-cache] [--cache-dir DIR] [--sequential]
+//!       [--trace PATH] [--no-cache] [--cache-dir DIR]
+//!       [--cache-cap-bytes N] [--sequential]
 //! ```
 //!
 //! - `--figures` — comma-separated [`FigureKind`] names, or `all` for
@@ -35,9 +36,13 @@
 //!   (this forces the sequential path; scheduling into a disabled cache
 //!   would be pure waste).
 //! - `--cache-dir DIR` — back the cache with a persistent store (also
-//!   honours `JUMANJI_CACHE_DIR`): completed cells are read from and
-//!   written to `DIR`, so a second suite run — or a standalone figure
-//!   binary pointed at the same directory — starts warm.
+//!   honours `JUMANJI_CACHE_DIR`): completed cells — analytic runs *and*
+//!   detailed-simulator reports — are read from and written to `DIR`, so
+//!   a second suite run — or a standalone figure binary pointed at the
+//!   same directory — starts warm.
+//! - `--cache-cap-bytes N` — bound the persistent store (also honours
+//!   `JUMANJI_CACHE_CAP`): oldest cells are evicted first once the
+//!   store exceeds `N` bytes (0 = unbounded, the default).
 //! - `--sequential` — render figures one at a time without the work
 //!   graph (the A/B baseline `timings` measures against).
 //!
@@ -114,7 +119,10 @@ fn trace_sink(args: &[String]) -> Result<Option<Arc<JsonlSink>>, Error> {
 }
 
 fn cells_of(stats: &CellCacheStats) -> (u64, u64) {
-    (stats.runs.misses, stats.runs.hits)
+    (
+        stats.runs.misses + stats.details.misses,
+        stats.runs.hits + stats.details.hits,
+    )
 }
 
 fn write_stats(
@@ -162,6 +170,11 @@ fn write_stats(
     )?;
     writeln!(
         f,
+        "  \"details\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}}},",
+        stats.details.hits, stats.details.misses, stats.details.entries
+    )?;
+    writeln!(
+        f,
         "  \"hulls\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}}}{}",
         stats.hulls.hits,
         stats.hulls.misses,
@@ -176,6 +189,7 @@ fn write_stats(
         let comma = if stats.disk.is_some() { "," } else { "" };
         writeln!(f, "  \"sched\": {{")?;
         writeln!(f, "    \"planned_runs\": {},", s.planned_runs)?;
+        writeln!(f, "    \"planned_details\": {},", s.planned_details)?;
         writeln!(f, "    \"nodes\": {},", s.nodes)?;
         writeln!(f, "    \"edges\": {},", s.edges)?;
         writeln!(f, "    \"workers\": {},", s.graph.workers)?;
@@ -184,6 +198,8 @@ fn write_stats(
         writeln!(f, "    \"elapsed_us\": {},", s.graph.elapsed_us)?;
         writeln!(f, "    \"computed_runs\": {},", s.computed_runs)?;
         writeln!(f, "    \"disk_run_hits\": {},", s.disk_run_hits)?;
+        writeln!(f, "    \"detail_computed\": {},", s.detail_computed)?;
+        writeln!(f, "    \"detail_disk_hits\": {},", s.detail_disk_hits)?;
         writeln!(f, "    \"warm_skipped_exps\": {},", s.warm_skipped_exps)?;
         writeln!(f, "    \"cost_drift\": [")?;
         for (i, d) in s.drift.iter().enumerate() {
@@ -284,10 +300,11 @@ fn run(args: &[String]) -> Result<(), Error> {
     );
     if let Some(s) = &summary.sched {
         eprintln!(
-            "[suite] sched: {} nodes ({} planned runs), {} edges, {} workers, \
-             {} steals, critical path {:.2}s of {:.2}s",
+            "[suite] sched: {} nodes ({} planned runs, {} planned detail cells), \
+             {} edges, {} workers, {} steals, critical path {:.2}s of {:.2}s",
             s.nodes,
             s.planned_runs,
+            s.planned_details,
             s.edges,
             s.graph.workers,
             s.graph.steals,
@@ -299,6 +316,10 @@ fn run(args: &[String]) -> Result<(), Error> {
                 "[suite] sched: {} runs computed, {} served from disk, \
                  {} experiment constructions skipped warm",
                 s.computed_runs, s.disk_run_hits, s.warm_skipped_exps
+            );
+            eprintln!(
+                "[suite] sched: {} detail cells computed, {} served from disk",
+                s.detail_computed, s.detail_disk_hits
             );
         }
         for d in &s.drift {
@@ -319,6 +340,7 @@ fn run(args: &[String]) -> Result<(), Error> {
     if let Some(sink) = &sink {
         for (scope, m) in [
             ("runs", stats.runs),
+            ("details", stats.details),
             ("experiments", stats.experiments),
             ("allocs", stats.allocs),
             ("hulls", stats.hulls),

@@ -77,7 +77,7 @@ fn detail_throughput() -> (u64, f64) {
     let total_accesses = (allocs.len() * profiles.len() * DETAIL_ACCESSES) as u64;
     let t = Instant::now();
     for alloc in &allocs {
-        let report = run_detailed(&opts, &profiles, &cores, &vms, alloc);
+        let report = run_detailed(&opts, &profiles, &cores, &vms, alloc, &NoopSink);
         assert_eq!(report.apps.len(), profiles.len());
     }
     let secs = t.elapsed().as_secs_f64();
@@ -97,7 +97,7 @@ fn analytic_throughput() -> (u64, f64) {
     let t = Instant::now();
     for _ in 0..REPS {
         for &design in &designs {
-            let result = exp.run(design);
+            let result = exp.run(design, &NoopSink);
             assert!(!result.batch_names.is_empty());
         }
     }
@@ -270,6 +270,74 @@ fn disk_timing(bin_dir: &Path, out_dir: &Path) -> DiskTiming {
     }
 }
 
+/// Detailed-cell store A/B measurements over the fig02 + validate set.
+struct DetailCacheTiming {
+    cold_seconds: f64,
+    warm_seconds: f64,
+    entries_written: u64,
+    warm_detail_hits: u64,
+}
+
+/// The detailed-simulator figures and the settings their probe runs at:
+/// equal `--accesses` across both figures, so validate's mix-0 cells
+/// dedup against fig02's in the work graph.
+const DETAIL_FIGURES: &[&str] = &["fig02", "validate"];
+const DETAIL_MIXES: usize = 2;
+const DETAIL_CACHE_ACCESSES: usize = 60_000;
+
+/// [`disk_timing`], for the detailed-simulator cells: runs the `suite`
+/// binary over fig02 + validate twice against one fresh `--cache-dir`,
+/// asserts cold and warm TSVs are byte-identical, and returns both
+/// wall-clocks plus the store's write and detail-hit counts.
+fn detail_cache_timing(bin_dir: &Path, out_dir: &Path) -> DetailCacheTiming {
+    let cache_dir = out_dir.join("detail_cache_probe");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let run = |mode_dir: &Path, stats: &Path| -> f64 {
+        let t = Instant::now();
+        let status = Command::new(bin_dir.join("suite"))
+            .args(["--figures", &DETAIL_FIGURES.join(",")])
+            .args(["--mixes", &DETAIL_MIXES.to_string()])
+            .args(["--accesses", &DETAIL_CACHE_ACCESSES.to_string()])
+            .args(["--out".as_ref(), mode_dir.as_os_str()])
+            .args(["--stats".as_ref(), stats.as_os_str()])
+            .args(["--cache-dir".as_ref(), cache_dir.as_os_str()])
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn suite: {e}"));
+        assert!(status.success(), "suite exited with {status}");
+        t.elapsed().as_secs_f64()
+    };
+
+    let cold_dir = out_dir.join("detail_cold_tsv");
+    let warm_dir = out_dir.join("detail_warm_tsv");
+    let cold_stats_path = out_dir.join("detail_cold_stats.json");
+    let warm_stats_path = out_dir.join("detail_warm_stats.json");
+    let cold_seconds = run(&cold_dir, &cold_stats_path);
+    let warm_seconds = run(&warm_dir, &warm_stats_path);
+    for name in DETAIL_FIGURES {
+        let a = std::fs::read(cold_dir.join(format!("{name}.tsv"))).expect("cold tsv");
+        let b = std::fs::read(warm_dir.join(format!("{name}.tsv"))).expect("warm tsv");
+        assert_eq!(a, b, "{name}: cold and warm TSVs differ");
+    }
+    let cold_stats = std::fs::read_to_string(&cold_stats_path).expect("cold stats");
+    let warm_stats = std::fs::read_to_string(&warm_stats_path).expect("warm stats");
+    let entries_written = read_number(&cold_stats, "\"writes\":").expect("cold writes") as u64;
+    let warm_detail_hits =
+        read_number(&warm_stats, "\"detail_disk_hits\":").expect("warm detail hits") as u64;
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let _ = std::fs::remove_dir_all(&cold_dir);
+    let _ = std::fs::remove_dir_all(&warm_dir);
+    let _ = std::fs::remove_file(&cold_stats_path);
+    let _ = std::fs::remove_file(&warm_stats_path);
+    DetailCacheTiming {
+        cold_seconds,
+        warm_seconds,
+        entries_written,
+        warm_detail_hits,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let out_dir = flag_value(&args, "--out").map_or_else(|| PathBuf::from("."), PathBuf::from);
@@ -334,6 +402,17 @@ fn main() {
         disk.cold_seconds / disk.warm_seconds,
         disk.entries_written,
         disk.warm_disk_hits
+    );
+
+    let detail_cache = detail_cache_timing(&bin_dir, &out_dir);
+    eprintln!(
+        "detail cache: {:.2}s cold vs {:.2}s warm ({:.2}x; {} entries written, \
+         {} warm detail hits)",
+        detail_cache.cold_seconds,
+        detail_cache.warm_seconds,
+        detail_cache.cold_seconds / detail_cache.warm_seconds,
+        detail_cache.entries_written,
+        detail_cache.warm_detail_hits
     );
 
     let (detail_accesses, detail_rate) = detail_throughput();
@@ -431,6 +510,20 @@ fn main() {
         disk.cold_seconds / disk.warm_seconds,
         disk.entries_written,
         disk.warm_disk_hits
+    ));
+    json.push_str("  },\n");
+    json.push_str("  \"detail_cache\": {\n");
+    json.push_str(&format!(
+        "    \"figures\": \"{}\",\n    \"accesses\": {DETAIL_CACHE_ACCESSES},\n    \
+         \"cold_seconds\": {:.3},\n    \"warm_seconds\": {:.3},\n    \
+         \"speedup_warm_vs_cold\": {:.2},\n    \"entries_written\": {},\n    \
+         \"warm_detail_hits\": {}\n",
+        DETAIL_FIGURES.join(","),
+        detail_cache.cold_seconds,
+        detail_cache.warm_seconds,
+        detail_cache.cold_seconds / detail_cache.warm_seconds,
+        detail_cache.entries_written,
+        detail_cache.warm_detail_hits
     ));
     json.push_str("  },\n");
     json.push_str(&format!("  \"total_seconds\": {total:.3}"));

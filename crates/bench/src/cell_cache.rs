@@ -12,6 +12,9 @@
 //!   `(mix, load, options)`;
 //! - **runs** — completed [`ExperimentResult`]s, keyed by the experiment's
 //!   content key plus the design;
+//! - **details** — completed detailed-simulator [`DetailReport`]s (by far
+//!   the heaviest cells in the repo — fig02 and validate), keyed by the
+//!   full input of [`run_detailed`];
 //! - **allocs** — one-shot [`DesignKind::allocate`] placements, keyed by
 //!   [`PlacementInput::content_key`] plus the design.
 //!
@@ -48,10 +51,12 @@
 
 use crate::disk_cache::{DiskCache, DiskCacheStats};
 use jumanji::core::{Allocation, DesignKind, PlacementInput};
+use jumanji::sim::detail::{run_detailed, DetailOptions, DetailReport};
+use jumanji::sim::perf::Profile;
 use jumanji::sim::{ratio_hull_cache_stats, Experiment, ExperimentResult, SimOptions};
-use jumanji::telemetry::Telemetry;
+use jumanji::telemetry::{NoopSink, Telemetry};
 use jumanji::types::hash::fingerprint128;
-use jumanji::types::{MapStats, ShardedMap};
+use jumanji::types::{CoreId, MapStats, ShardedMap, VmId};
 use jumanji::workloads::{LcLoad, WorkloadMix};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -69,6 +74,23 @@ pub fn experiment_key(mix: &WorkloadMix, load: LcLoad, opts: &SimOptions) -> u12
 /// the key [`CellCache::run`] files results under.
 pub fn run_key(experiment_key: u128, design: DesignKind) -> u128 {
     fingerprint128(format!("run|{experiment_key:032x}|{design:?}").as_bytes())
+}
+
+/// The cache identity of a detailed-simulator cell: a 128-bit content
+/// fingerprint of every input [`run_detailed`] consumes — the full
+/// [`DetailOptions`] (which carry the machine config, access budget, and
+/// stream seed), the per-app profiles, core pinning, VM membership, and
+/// the allocation under test. This is the key [`CellCache::run_detail`]
+/// files reports under, exposed so the plan pass can name a detailed
+/// cell without simulating it.
+pub fn detail_key(
+    opts: &DetailOptions,
+    profiles: &[Profile],
+    cores: &[CoreId],
+    vms: &[VmId],
+    alloc: &Allocation,
+) -> u128 {
+    fingerprint128(format!("detail|{opts:?}|{profiles:?}|{cores:?}|{vms:?}|{alloc:?}").as_bytes())
 }
 
 /// The deferred inputs of an experiment plus its at-most-once
@@ -136,6 +158,8 @@ pub enum RunSource {
 pub struct CellCacheStats {
     /// Completed experiment results.
     pub runs: MapStats,
+    /// Completed detailed-simulator reports.
+    pub details: MapStats,
     /// Constructed experiments (lazy: only cells that were actually
     /// forced appear here — a fully warm run constructs none).
     pub experiments: MapStats,
@@ -157,6 +181,7 @@ pub struct CellCache {
     enabled: AtomicBool,
     experiments: ShardedMap<u128, Arc<Experiment>>,
     runs: ShardedMap<u128, Arc<ExperimentResult>>,
+    details: ShardedMap<u128, Arc<DetailReport>>,
     allocs: ShardedMap<u128, Allocation>,
     disk: RwLock<Option<Arc<DiskCache>>>,
 }
@@ -174,6 +199,7 @@ impl CellCache {
             enabled: AtomicBool::new(true),
             experiments: ShardedMap::new(),
             runs: ShardedMap::new(),
+            details: ShardedMap::new(),
             allocs: ShardedMap::new(),
             disk: RwLock::new(None),
         }
@@ -290,12 +316,12 @@ impl CellCache {
         tel: &dyn Telemetry,
     ) -> (Arc<ExperimentResult>, RunSource) {
         let Some(base) = handle.key else {
-            let result = Arc::new(self.force_experiment(handle).run_traced(design, tel));
+            let result = Arc::new(self.force_experiment(handle).run(design, tel));
             return (result, RunSource::Computed);
         };
         let key = run_key(base, design);
         if tel.enabled() {
-            let result = Arc::new(self.force_experiment(handle).run_traced(design, tel));
+            let result = Arc::new(self.force_experiment(handle).run(design, tel));
             self.runs.insert(key, Arc::clone(&result));
             if let Some(disk) = self.disk() {
                 disk.store_run(key, &result);
@@ -311,13 +337,80 @@ impl CellCache {
                 }
             }
             source.set(RunSource::Computed);
-            let r = Arc::new(self.force_experiment(handle).run(design));
+            let r = Arc::new(self.force_experiment(handle).run(design, &NoopSink));
             if let Some(disk) = self.disk() {
                 disk.store_run(key, &r);
             }
             r
         });
         (result, source.get())
+    }
+
+    /// The detailed-simulator report for `(opts, profiles, cores, vms,
+    /// alloc)`, computed at most once per process while the cache is
+    /// enabled and `tel` is disabled, with read-through to the disk
+    /// store's `details/` namespace. See [`CellCache::run_detail_sourced`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_detail(
+        &self,
+        opts: &DetailOptions,
+        profiles: &[Profile],
+        cores: &[CoreId],
+        vms: &[VmId],
+        alloc: &Allocation,
+        tel: &dyn Telemetry,
+    ) -> Arc<DetailReport> {
+        self.run_detail_sourced(opts, profiles, cores, vms, alloc, tel)
+            .0
+    }
+
+    /// [`CellCache::run_detail`] plus where the report came from.
+    ///
+    /// Detailed cells follow exactly the run-cell contract: an enabled
+    /// sink forces a full re-simulation (the [`Event::DetailBank`] stream
+    /// must be complete) whose report is written through for later
+    /// untraced readers; a disabled cache computes fresh every time.
+    ///
+    /// [`Event::DetailBank`]: jumanji::telemetry::Event::DetailBank
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_detail_sourced(
+        &self,
+        opts: &DetailOptions,
+        profiles: &[Profile],
+        cores: &[CoreId],
+        vms: &[VmId],
+        alloc: &Allocation,
+        tel: &dyn Telemetry,
+    ) -> (Arc<DetailReport>, RunSource) {
+        if !self.enabled() {
+            let report = Arc::new(run_detailed(opts, profiles, cores, vms, alloc, tel));
+            return (report, RunSource::Computed);
+        }
+        let key = detail_key(opts, profiles, cores, vms, alloc);
+        if tel.enabled() {
+            let report = Arc::new(run_detailed(opts, profiles, cores, vms, alloc, tel));
+            self.details.insert(key, Arc::clone(&report));
+            if let Some(disk) = self.disk() {
+                disk.store_detail(key, &report);
+            }
+            return (report, RunSource::Computed);
+        }
+        let source = Cell::new(RunSource::Memory);
+        let report = self.details.get_or_compute(key, || {
+            if let Some(disk) = self.disk() {
+                if let Some(r) = disk.load_detail(key) {
+                    source.set(RunSource::Disk);
+                    return Arc::new(r);
+                }
+            }
+            source.set(RunSource::Computed);
+            let r = Arc::new(run_detailed(opts, profiles, cores, vms, alloc, &NoopSink));
+            if let Some(disk) = self.disk() {
+                disk.store_detail(key, &r);
+            }
+            r
+        });
+        (report, source.get())
     }
 
     /// True when the run cell for `key` is already available without
@@ -329,6 +422,14 @@ impl CellCache {
             return false;
         }
         self.runs.get(&key).is_some() || self.disk().is_some_and(|d| d.has_run(key))
+    }
+
+    /// [`CellCache::probe_run`] for a detailed-simulator cell.
+    pub fn probe_detail(&self, key: u128) -> bool {
+        if !self.enabled() {
+            return false;
+        }
+        self.details.get(&key).is_some() || self.disk().is_some_and(|d| d.has_detail(key))
     }
 
     /// The allocation `design` produces for `input`, computed at most once
@@ -359,6 +460,7 @@ impl CellCache {
     pub fn stats(&self) -> CellCacheStats {
         CellCacheStats {
             runs: self.runs.stats(),
+            details: self.details.stats(),
             experiments: self.experiments.stats(),
             allocs: self.allocs.stats(),
             hulls: ratio_hull_cache_stats(),
@@ -377,6 +479,7 @@ impl CellCache {
     pub fn clear(&self) {
         self.experiments.clear();
         self.runs.clear();
+        self.details.clear();
         self.allocs.clear();
     }
 }
@@ -385,7 +488,9 @@ impl CellCache {
 /// list: `--no-cache` disables the global cache before any experiment
 /// runs; otherwise `--cache-dir DIR` (or `JUMANJI_CACHE_DIR`) attaches
 /// a persistent store to it and warm-starts the simulator's model
-/// memos from the store.
+/// memos from the store, and `--cache-cap-bytes N` (or
+/// `JUMANJI_CACHE_CAP`) bounds the store's size, evicting the
+/// least-recently-written entries on overflow.
 pub fn apply_cache_flags(args: &[String]) {
     if wants_no_cache(args) {
         CellCache::global().set_enabled(false);
@@ -393,6 +498,12 @@ pub fn apply_cache_flags(args: &[String]) {
     }
     if let Some(dir) = cache_dir_from(args) {
         attach_global_disk(&dir);
+        if let Some(cap) = cache_cap_from(args) {
+            if let Some(disk) = CellCache::global().disk() {
+                disk.set_cap_bytes(cap);
+                disk.enforce_cap();
+            }
+        }
     }
 }
 
@@ -403,6 +514,17 @@ pub fn cache_dir_from(args: &[String]) -> Option<String> {
     crate::exec::flag_value(args, "--cache-dir")
         .or_else(|| std::env::var("JUMANJI_CACHE_DIR").ok())
         .filter(|dir| !dir.is_empty())
+}
+
+/// The store size cap requested by `args` or the environment:
+/// `--cache-cap-bytes N` / `--cache-cap-bytes=N` beats
+/// `JUMANJI_CACHE_CAP`; an unparsable or zero value means "unbounded"
+/// (lenient, like every other env-sourced knob).
+pub fn cache_cap_from(args: &[String]) -> Option<u64> {
+    crate::exec::flag_value(args, "--cache-cap-bytes")
+        .or_else(|| std::env::var("JUMANJI_CACHE_CAP").ok())
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&cap| cap > 0)
 }
 
 /// Opens `dir` and attaches it to the global cache, seeding the
@@ -428,6 +550,9 @@ pub fn attach_global_disk(dir: &str) {
 pub fn persist_global_disk() {
     if let Some(disk) = CellCache::global().disk() {
         disk.persist_model();
+        // Cells written during this run may have pushed a capped store
+        // over its limit; evict before the next process starts.
+        disk.enforce_cap();
     }
 }
 
@@ -461,8 +586,8 @@ mod tests {
         let cache = CellCache::new();
         let handle = cache.experiment(case_study_mix(3), LcLoad::High, quick_opts());
         let cached = cache.run(&handle, DesignKind::Jumanji, &NoopSink);
-        let direct =
-            Experiment::new(case_study_mix(3), LcLoad::High, quick_opts()).run(DesignKind::Jumanji);
+        let direct = Experiment::new(case_study_mix(3), LcLoad::High, quick_opts())
+            .run(DesignKind::Jumanji, &NoopSink);
         assert_eq!(format!("{cached:?}"), format!("{direct:?}"));
     }
 

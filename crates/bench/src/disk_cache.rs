@@ -9,6 +9,9 @@
 //! every later one:
 //!
 //! - `runs/<key>.bin` — completed [`ExperimentResult`]s;
+//! - `details/<key>.bin` — completed detailed-simulator
+//!   [`DetailReport`]s (the heaviest cells in the repo: fig02 and
+//!   validate);
 //! - `allocs/<key>.bin` — one-shot [`Allocation`]s;
 //! - `model.bin` — the simulator's expensive construction memos (ratio
 //!   hulls and deadline isolation runs), so even a *cold* run cell
@@ -26,6 +29,14 @@
 //! Floats are stored by bit pattern, so results served from disk format
 //! to byte-identical TSVs.
 //!
+//! The store is bounded on request: [`DiskCache::set_cap_bytes`]
+//! (`--cache-cap-bytes` / `JUMANJI_CACHE_CAP` on the binaries) caps the
+//! total size of the entry files, and [`DiskCache::enforce_cap`] evicts
+//! the least-recently-written entries (by mtime — every write refreshes
+//! its entry's mtime, so write order approximates use order) until the
+//! store fits. `model.bin` and `costs.bin` are small shared memos and
+//! are never evicted for space.
+//!
 //! The codec is hand-rolled (no serde — the workspace builds offline):
 //! each domain type gets an explicit field-order encode/decode pair
 //! below, and any layout change must bump
@@ -33,6 +44,7 @@
 
 use jumanji::cache::MissCurve;
 use jumanji::core::{Allocation, AppAlloc, DesignKind, Pool};
+use jumanji::sim::detail::{DetailAppStats, DetailReport};
 use jumanji::sim::energy::EnergyBreakdown;
 use jumanji::sim::{export_ratio_hulls, seed_ratio_hull, ExperimentResult, IntervalRecord};
 use jumanji::types::codec::{decode_entry, encode_entry, ByteReader, ByteWriter, CodecError};
@@ -52,6 +64,8 @@ const KIND_ALLOC: u16 = 2;
 const KIND_MODEL: u16 = 3;
 /// Envelope kind tag for the measured-cost table.
 const KIND_COSTS: u16 = 4;
+/// Envelope kind tag for detailed-simulator report entries.
+const KIND_DETAIL: u16 = 5;
 
 /// Number of [`DesignKind`] variants (size of the per-design cost rows).
 pub const NUM_DESIGNS: usize = 7;
@@ -65,8 +79,8 @@ pub struct DiskCacheStats {
     pub misses: u64,
     /// Entries successfully written.
     pub writes: u64,
-    /// Cache files deleted (all deletions are corruption evictions —
-    /// the store never evicts for space).
+    /// Cache files deleted — corruption drops plus size-cap evictions
+    /// (see [`DiskCache::enforce_cap`]).
     pub evictions: u64,
     /// Entries dropped because they failed envelope or payload
     /// validation (truncated, bad checksum, wrong format version, …).
@@ -84,12 +98,19 @@ pub struct MeasuredCosts {
     pub runs: [(u64, f64); NUM_DESIGNS],
     /// Experiment constructions: `(samples, total µs-per-interval)`.
     pub exps: (u64, f64),
+    /// Detailed-simulator cells: `(samples, total µs-per-work-unit)`,
+    /// where one work unit is [`plan::DETAIL_UNIT_ACCESSES`] total
+    /// accesses (see [`plan::detail_units`]).
+    ///
+    /// [`plan::DETAIL_UNIT_ACCESSES`]: crate::figures::plan::DETAIL_UNIT_ACCESSES
+    /// [`plan::detail_units`]: crate::figures::plan::detail_units
+    pub details: (u64, f64),
 }
 
 impl MeasuredCosts {
     /// True when no sample has been recorded at all.
     pub fn is_empty(&self) -> bool {
-        self.exps.0 == 0 && self.runs.iter().all(|(n, _)| *n == 0)
+        self.exps.0 == 0 && self.details.0 == 0 && self.runs.iter().all(|(n, _)| *n == 0)
     }
 
     /// Folds another cost table into this one.
@@ -100,6 +121,8 @@ impl MeasuredCosts {
         }
         self.exps.0 += other.exps.0;
         self.exps.1 += other.exps.1;
+        self.details.0 += other.details.0;
+        self.details.1 += other.details.1;
     }
 
     /// Records one measured run: `us` micro-seconds for a node covering
@@ -125,6 +148,21 @@ impl MeasuredCosts {
     /// Mean measured µs-per-interval for experiment construction.
     pub fn mean_exp_us(&self) -> Option<f64> {
         let (n, total) = self.exps;
+        (n > 0).then(|| total / n as f64)
+    }
+
+    /// Records one measured detailed-simulator cell: `us` micro-seconds
+    /// for a node covering `units` work units (fractions of a unit are
+    /// rounded up by the caller's unit computation, never zero).
+    pub fn record_detail(&mut self, units: f64, us: u64) {
+        self.details.0 += 1;
+        self.details.1 += us as f64 / units.max(1.0);
+    }
+
+    /// Mean measured µs-per-work-unit for detailed cells, if any sample
+    /// exists.
+    pub fn mean_detail_us(&self) -> Option<f64> {
+        let (n, total) = self.details;
         (n > 0).then(|| total / n as f64)
     }
 }
@@ -391,6 +429,73 @@ fn decode_alloc(bytes: &[u8]) -> Result<Allocation, CodecError> {
     })
 }
 
+fn encode_detail(report: &DetailReport) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u32(report.apps.len() as u32);
+    for a in &report.apps {
+        w.u64(a.accesses);
+        w.u64(a.misses);
+        w.f64(a.total_latency);
+        w.f64(a.total_hops);
+        w.u64(a.port_wait);
+        w.u64(a.tlb_misses);
+        w.u64(a.writebacks);
+    }
+    w.u32(report.bank_occupants.len() as u32);
+    for occ in &report.bank_occupants {
+        w.u32(occ.len() as u32);
+        for app in occ {
+            w.usize(app.0);
+        }
+    }
+    encode_entry(KIND_DETAIL, w.into_bytes())
+}
+
+fn decode_detail(bytes: &[u8]) -> Result<DetailReport, CodecError> {
+    let payload = decode_entry(KIND_DETAIL, bytes)?;
+    let mut r = ByteReader::new(payload);
+    let napps = r.count(56)?;
+    let mut apps = Vec::with_capacity(napps);
+    for _ in 0..napps {
+        let accesses = r.u64()?;
+        let misses = r.u64()?;
+        let total_latency = r.f64()?;
+        let total_hops = r.f64()?;
+        if !total_latency.is_finite() || !total_hops.is_finite() {
+            return Err(CodecError::Malformed("non-finite detail total"));
+        }
+        apps.push(DetailAppStats {
+            accesses,
+            misses,
+            total_latency,
+            total_hops,
+            port_wait: r.u64()?,
+            tlb_misses: r.u64()?,
+            writebacks: r.u64()?,
+        });
+    }
+    let nbanks = r.count(4)?;
+    let mut bank_occupants = Vec::with_capacity(nbanks);
+    for _ in 0..nbanks {
+        let n = r.count(8)?;
+        let occ = (0..n)
+            .map(|_| {
+                let app = r.usize()?;
+                if app >= apps.len() {
+                    return Err(CodecError::Malformed("occupant app out of range"));
+                }
+                Ok(AppId(app))
+            })
+            .collect::<Result<Vec<_>, CodecError>>()?;
+        bank_occupants.push(occ);
+    }
+    r.finish()?;
+    Ok(DetailReport {
+        apps,
+        bank_occupants,
+    })
+}
+
 fn encode_curve(w: &mut ByteWriter, curve: &MissCurve) {
     w.u64(curve.unit_bytes());
     w.f64s(curve.points());
@@ -462,6 +567,8 @@ fn encode_costs(costs: &MeasuredCosts) -> Vec<u8> {
     }
     w.u64(costs.exps.0);
     w.f64(costs.exps.1);
+    w.u64(costs.details.0);
+    w.f64(costs.details.1);
     encode_entry(KIND_COSTS, w.into_bytes())
 }
 
@@ -481,6 +588,11 @@ fn decode_costs(bytes: &[u8]) -> Result<MeasuredCosts, CodecError> {
     if !costs.exps.1.is_finite() || costs.exps.1 < 0.0 {
         return Err(CodecError::Malformed("bad cost total"));
     }
+    costs.details.0 = r.u64()?;
+    costs.details.1 = r.f64()?;
+    if !costs.details.1.is_finite() || costs.details.1 < 0.0 {
+        return Err(CodecError::Malformed("bad cost total"));
+    }
     r.finish()?;
     Ok(costs)
 }
@@ -491,6 +603,8 @@ fn decode_costs(bytes: &[u8]) -> Result<MeasuredCosts, CodecError> {
 #[derive(Debug)]
 pub struct DiskCache {
     root: PathBuf,
+    /// Total entry-file bytes allowed (0 = unbounded).
+    cap_bytes: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     writes: AtomicU64,
@@ -507,9 +621,11 @@ impl DiskCache {
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<DiskCache> {
         let root = dir.into();
         fs::create_dir_all(root.join("runs"))?;
+        fs::create_dir_all(root.join("details"))?;
         fs::create_dir_all(root.join("allocs"))?;
         Ok(DiskCache {
             root,
+            cap_bytes: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             writes: AtomicU64::new(0),
@@ -536,6 +652,10 @@ impl DiskCache {
 
     fn run_path(&self, key: u128) -> PathBuf {
         self.root.join("runs").join(format!("{key:032x}.bin"))
+    }
+
+    fn detail_path(&self, key: u128) -> PathBuf {
+        self.root.join("details").join(format!("{key:032x}.bin"))
     }
 
     fn alloc_path(&self, key: u128) -> PathBuf {
@@ -625,6 +745,23 @@ impl DiskCache {
     /// later fails validation just falls back to lazy construction.
     pub fn has_run(&self, key: u128) -> bool {
         self.run_path(key).exists()
+    }
+
+    /// The persisted detailed-simulator report for a key, if a valid
+    /// entry exists.
+    pub fn load_detail(&self, key: u128) -> Option<DetailReport> {
+        self.load_entry(&self.detail_path(key), decode_detail)
+    }
+
+    /// Persists a completed detailed-simulator cell.
+    pub fn store_detail(&self, key: u128, report: &DetailReport) {
+        self.store_entry(&self.detail_path(key), &encode_detail(report));
+    }
+
+    /// Cheap existence probe for a detailed-cell entry (see
+    /// [`DiskCache::has_run`]).
+    pub fn has_detail(&self, key: u128) -> bool {
+        self.detail_path(key).exists()
     }
 
     /// The persisted allocation for a key, if a valid entry exists.
@@ -719,6 +856,68 @@ impl DiskCache {
         let mut merged = self.load_costs();
         merged.merge(fresh);
         self.store_entry(&self.root.join("costs.bin"), &encode_costs(&merged));
+    }
+
+    /// Caps the total size of the store's entry files (`runs/`,
+    /// `details/`, `allocs/`). `0` means unbounded (the default). The
+    /// cap takes effect at the next [`DiskCache::enforce_cap`] call —
+    /// the binaries enforce it at attach time and again at exit.
+    pub fn set_cap_bytes(&self, cap: u64) {
+        self.cap_bytes.store(cap, Ordering::Relaxed);
+    }
+
+    /// The configured size cap in bytes (`0` = unbounded).
+    pub fn cap_bytes(&self) -> u64 {
+        self.cap_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Evicts the least-recently-written entries (oldest mtime first)
+    /// until the entry files fit under the configured cap. Returns the
+    /// number of files evicted (also folded into the `evictions`
+    /// counter). A no-op when no cap is set or the store already fits;
+    /// unreadable metadata is treated leniently (skip the file rather
+    /// than fail the run). `model.bin`/`costs.bin` are never touched.
+    pub fn enforce_cap(&self) -> u64 {
+        let cap = self.cap_bytes();
+        if cap == 0 {
+            return 0;
+        }
+        let mut entries: Vec<(PathBuf, u64, std::time::SystemTime)> = Vec::new();
+        let mut total: u64 = 0;
+        for sub in ["runs", "details", "allocs"] {
+            let Ok(dir) = fs::read_dir(self.root.join(sub)) else {
+                continue;
+            };
+            for entry in dir.flatten() {
+                let Ok(meta) = entry.metadata() else {
+                    continue;
+                };
+                if !meta.is_file() {
+                    continue;
+                }
+                let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+                total += meta.len();
+                entries.push((entry.path(), meta.len(), mtime));
+            }
+        }
+        if total <= cap {
+            return 0;
+        }
+        // Oldest first; ties broken by path so concurrent enforcers
+        // walk the same order.
+        entries.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+        let mut evicted = 0;
+        for (path, len, _) in entries {
+            if total <= cap {
+                break;
+            }
+            if fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(len);
+                evicted += 1;
+            }
+        }
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        evicted
     }
 }
 
@@ -872,6 +1071,93 @@ mod tests {
         let _ = fs::remove_dir_all(store.root());
     }
 
+    fn sample_detail() -> DetailReport {
+        DetailReport {
+            apps: vec![
+                DetailAppStats {
+                    accesses: 50_000,
+                    misses: 1_234,
+                    total_latency: 1.5e6,
+                    total_hops: 2.25e5,
+                    port_wait: 777,
+                    tlb_misses: 42,
+                    writebacks: 310,
+                },
+                DetailAppStats::default(),
+            ],
+            bank_occupants: vec![vec![AppId(0), AppId(1)], vec![], vec![AppId(1)]],
+        }
+    }
+
+    #[test]
+    fn detail_codec_round_trips_bit_exactly() {
+        let original = sample_detail();
+        let decoded = decode_detail(&encode_detail(&original)).expect("valid entry");
+        assert_eq!(format!("{original:?}"), format!("{decoded:?}"));
+    }
+
+    #[test]
+    fn detail_decoder_rejects_dangling_occupant() {
+        let mut report = sample_detail();
+        report.bank_occupants[0].push(AppId(9));
+        let err = decode_detail(&encode_detail(&report)).expect_err("dangling occupant");
+        assert_eq!(err, CodecError::Malformed("occupant app out of range"));
+    }
+
+    #[test]
+    fn store_round_trips_details() {
+        let store = temp_store("detail-roundtrip");
+        let report = sample_detail();
+        assert!(store.load_detail(11).is_none());
+        assert!(!store.has_detail(11));
+        store.store_detail(11, &report);
+        assert!(store.has_detail(11));
+        let loaded = store.load_detail(11).expect("stored entry");
+        assert_eq!(format!("{report:?}"), format!("{loaded:?}"));
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn size_cap_evicts_oldest_entries_first() {
+        let store = temp_store("cap");
+        for key in 0..4u128 {
+            store.store_run(key, &sample_result());
+        }
+        store.store_detail(9, &sample_detail());
+        let entry_len = fs::metadata(store.run_path(0)).unwrap().len();
+        // Spread mtimes so the write order is unambiguous regardless of
+        // filesystem timestamp granularity: key 0 oldest … detail newest.
+        let base = std::time::SystemTime::now() - std::time::Duration::from_secs(100);
+        for (i, path) in (0..4u128)
+            .map(|k| store.run_path(k))
+            .chain([store.detail_path(9)])
+            .enumerate()
+        {
+            let f = fs::File::options().write(true).open(&path).unwrap();
+            f.set_modified(base + std::time::Duration::from_secs(10 * i as u64))
+                .unwrap();
+        }
+
+        // Unbounded: nothing happens.
+        assert_eq!(store.enforce_cap(), 0);
+
+        // Cap to roughly two run entries: the three oldest files go,
+        // newest survive.
+        store.set_cap_bytes(entry_len * 2 + entry_len / 2);
+        let evicted = store.enforce_cap();
+        assert!(evicted >= 2, "cap must evict, got {evicted}");
+        assert!(!store.has_run(0), "oldest entry must be evicted first");
+        assert!(store.has_detail(9), "newest entry must survive");
+        assert_eq!(store.stats().evictions, evicted);
+
+        // Within cap now: a second enforcement is a no-op, and evicted
+        // cells are plain recomputable misses.
+        assert_eq!(store.enforce_cap(), 0);
+        assert!(store.load_run(0).is_none());
+        assert_eq!(store.stats().corrupt_dropped, 0);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
     #[test]
     fn costs_table_accumulates_across_merges() {
         let store = temp_store("costs");
@@ -880,12 +1166,14 @@ mod tests {
         fresh.record_run(DesignKind::Jumanji, 10, 1000);
         fresh.record_run(DesignKind::Jumanji, 10, 3000);
         fresh.record_exp(10, 500);
+        fresh.record_detail(32.0, 6400);
         store.merge_costs(&fresh);
         store.merge_costs(&fresh);
         let loaded = store.load_costs();
         assert_eq!(loaded.runs[design_tag(DesignKind::Jumanji) as usize].0, 4);
         assert_eq!(loaded.mean_run_us(DesignKind::Jumanji), Some(200.0));
         assert_eq!(loaded.mean_exp_us(), Some(50.0));
+        assert_eq!(loaded.mean_detail_us(), Some(200.0));
         assert_eq!(loaded.mean_run_us(DesignKind::Static), None);
         let _ = fs::remove_dir_all(store.root());
     }

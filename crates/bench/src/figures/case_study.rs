@@ -11,7 +11,7 @@ use jumanji::cache::analytic::assoc_penalty;
 use jumanji::core::AppKind;
 use jumanji::noc::MeshNoc;
 use jumanji::prelude::*;
-use jumanji::sim::detail::{run_detailed_traced, DetailOptions, DetailReport};
+use jumanji::sim::detail::{DetailOptions, DetailReport};
 use jumanji::sim::metrics::{gmean, percentile};
 use jumanji::sim::perf::Profile;
 use jumanji::sim::queueing::LcQueue;
@@ -57,6 +57,32 @@ fn render_map(
     out
 }
 
+/// The detailed-run options Fig. 2 uses. Shared with the plan pass,
+/// which must name the exact same cells the render looks up.
+pub(crate) fn fig02_opts(cfg: &SystemConfig, accesses: usize) -> DetailOptions {
+    DetailOptions {
+        cfg: cfg.clone(),
+        accesses_per_app: accesses,
+        ..DetailOptions::default()
+    }
+}
+
+/// Fig. 2's canonical profile assignment over the example placement
+/// input. Shared with the plan pass.
+pub(crate) fn fig02_profiles(input: &PlacementInput) -> Vec<Profile> {
+    let lc = tailbench();
+    let batch = spec2006();
+    input
+        .apps
+        .iter()
+        .enumerate()
+        .map(|(i, a)| match a.kind {
+            AppKind::LatencyCritical => Profile::Lc(lc[i % lc.len()].clone(), LcLoad::High),
+            AppKind::Batch => Profile::Batch(batch[i % batch.len()].clone()),
+        })
+        .collect()
+}
+
 /// Fig. 2: representative data placements under each LLC design for the
 /// case-study workload, rendered as ASCII maps of the 5×4 LLC.
 ///
@@ -69,31 +95,19 @@ pub fn fig02(spec: &ExperimentSpec, tel: &dyn Telemetry, out: &mut dyn Write) ->
     let cfg = SystemConfig::micro2020();
     let input = PlacementInput::example(&cfg);
     let mesh = cfg.mesh();
-    let lc = tailbench();
-    let batch = spec2006();
-    let profiles: Vec<Profile> = input
-        .apps
-        .iter()
-        .enumerate()
-        .map(|(i, a)| match a.kind {
-            AppKind::LatencyCritical => Profile::Lc(lc[i % lc.len()].clone(), LcLoad::High),
-            AppKind::Batch => Profile::Batch(batch[i % batch.len()].clone()),
-        })
-        .collect();
+    let profiles = fig02_profiles(&input);
     let cores: Vec<CoreId> = input.apps.iter().map(|a| a.core).collect();
     let vms: Vec<VmId> = input.apps.iter().map(|a| a.vm).collect();
     let designs = &spec.designs;
 
-    // Each design's detailed simulation is an independent cell.
-    let reports: Vec<(Allocation, DetailReport)> =
+    // Each design's detailed simulation is an independent cell, read
+    // through the cell cache (warm after a scheduled suite run or a
+    // prior process with the same --cache-dir).
+    let reports: Vec<(Allocation, std::sync::Arc<DetailReport>)> =
         parallel_map_traced(designs.len(), spec.threads, tel, |i| {
             let alloc = CellCache::global().allocate(designs[i], &input);
-            let report = run_detailed_traced(
-                &DetailOptions {
-                    cfg: cfg.clone(),
-                    accesses_per_app: spec.accesses,
-                    ..DetailOptions::default()
-                },
+            let report = CellCache::global().run_detail(
+                &fig02_opts(&cfg, spec.accesses),
                 &profiles,
                 &cores,
                 &vms,

@@ -20,23 +20,32 @@
 //! transcribing their logic. `tests/plan_coverage.rs` pins the contract:
 //! after executing a figure's plan, its render computes zero new cells.
 //!
-//! Figures with no analytic cells to pre-compute (the detailed-simulator
-//! studies fig02/validate, the closed-form fig08, the attack demos, the
-//! config tables) return an empty plan; the suite renders them directly.
+//! The detailed-simulator studies (fig02, validate) plan *detailed*
+//! cells ([`DetailPlan`]) instead of analytic ones: the full input of
+//! [`run_detailed`](jumanji::sim::detail::run_detailed), enumerated
+//! with the same helpers the renders use, so scheduled detailed cells
+//! are pure cache hits at render time too. Figures with nothing to
+//! pre-compute (the closed-form fig08, the attack demos, the config
+//! tables) return an empty plan; the suite renders them directly.
 //!
-//! Cost priors ([`experiment_cost`], [`run_cost`]) feed the scheduler's
-//! long-pole-first ordering. They are *relative* weights calibrated from
-//! the `timings` probes (an analytic run costs about one interval-unit
-//! per reconfiguration interval; placement-solving designs cost more per
-//! interval; experiment construction about half a Static run), not
-//! wall-clock predictions — only their ordering matters.
+//! Cost priors ([`experiment_cost`], [`run_cost`], [`detail_cost`]) feed
+//! the scheduler's long-pole-first ordering. They are *relative* weights
+//! calibrated from the `timings` probes (an analytic run costs about one
+//! interval-unit per reconfiguration interval; placement-solving designs
+//! cost more per interval; experiment construction about half a Static
+//! run; a detailed cell about two interval-units per
+//! [`DETAIL_UNIT_ACCESSES`] simulated accesses), not wall-clock
+//! predictions — only their ordering matters.
 
 use super::{groups_by_load, sim_opts};
+use crate::cell_cache::CellCache;
 use crate::disk_cache::MeasuredCosts;
 use crate::spec::{ExperimentSpec, FigureKind};
 use crate::{mix_cell_inputs, LcGroup};
 use jumanji::prelude::*;
-use jumanji::types::{Error, Seconds};
+use jumanji::sim::detail::DetailOptions;
+use jumanji::sim::perf::Profile;
+use jumanji::types::{CoreId, Error, Seconds, VmId};
 use jumanji::workloads::WorkloadMix;
 
 /// One experiment cell a figure's render will look up: the experiment's
@@ -61,19 +70,63 @@ impl CellPlan {
     }
 }
 
+/// One detailed-simulator cell a figure's render will look up: the full
+/// input of [`run_detailed`](jumanji::sim::detail::run_detailed),
+/// including the allocation under test (allocations are cheap and
+/// memoized through the cell cache, so the plan pass resolves them
+/// up front — the render's own `allocate` call is then a pure hit).
+#[derive(Debug, Clone)]
+pub struct DetailPlan {
+    /// The design whose allocation is simulated (labeling only — the
+    /// cell's identity is carried by `alloc` and the other inputs).
+    pub design: DesignKind,
+    /// Detailed-run options, after the render's seed derivation.
+    pub opts: DetailOptions,
+    /// Per-app profiles in app order.
+    pub profiles: Vec<Profile>,
+    /// Per-app core pinning.
+    pub cores: Vec<CoreId>,
+    /// Per-app VM membership.
+    pub vms: Vec<VmId>,
+    /// The allocation under test.
+    pub alloc: Allocation,
+}
+
+impl DetailPlan {
+    /// The cache identity of this detailed cell.
+    pub fn key(&self) -> u128 {
+        crate::cell_cache::detail_key(
+            &self.opts,
+            &self.profiles,
+            &self.cores,
+            &self.vms,
+            &self.alloc,
+        )
+    }
+}
+
 /// A figure's full cell enumeration.
 #[derive(Debug, Clone)]
 pub struct FigurePlan {
     /// The figure this plan describes.
     pub kind: FigureKind,
-    /// Its cells, in the render's lookup order.
+    /// Its analytic cells, in the render's lookup order.
     pub cells: Vec<CellPlan>,
+    /// Its detailed-simulator cells, in the render's lookup order.
+    pub details: Vec<DetailPlan>,
 }
 
 impl FigurePlan {
-    /// Total design runs across cells (before any deduplication).
+    /// Total design runs across analytic cells (before any
+    /// deduplication).
     pub fn runs(&self) -> usize {
         self.cells.iter().map(|c| c.designs.len()).sum()
+    }
+
+    /// True when the figure pre-computes nothing through the cell cache
+    /// (no analytic and no detailed cells).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty() && self.details.is_empty()
     }
 }
 
@@ -107,6 +160,30 @@ fn static_factor(design: DesignKind) -> f64 {
 /// that solve a placement every interval.
 pub fn run_cost(opts: &SimOptions, design: DesignKind) -> f64 {
     intervals_of(opts) * static_factor(design)
+}
+
+/// Total simulated accesses in one detailed-cell work unit — the unit
+/// both the detailed static prior and the persisted measured durations
+/// ([`MeasuredCosts::details`]) normalize by.
+pub const DETAIL_UNIT_ACCESSES: f64 = 25_000.0;
+
+/// Work units of a detailed cell with `opts` over `napps` applications:
+/// total simulated accesses per [`DETAIL_UNIT_ACCESSES`], never below
+/// one.
+pub fn detail_units(opts: &DetailOptions, napps: usize) -> f64 {
+    ((opts.accesses_per_app * napps) as f64 / DETAIL_UNIT_ACCESSES).max(1.0)
+}
+
+/// The static prior for a detailed cell's per-work-unit cost relative
+/// to a Static analytic interval, calibrated once from the `timings`
+/// probes (execution-driven simulation of one unit of accesses costs
+/// about two analytic intervals).
+const DETAIL_STATIC_FACTOR: f64 = 2.0;
+
+/// Relative cost prior of a detailed-simulator cell (same unit as
+/// [`run_cost`]).
+pub fn detail_cost(opts: &DetailOptions, napps: usize) -> f64 {
+    detail_units(opts, napps) * DETAIL_STATIC_FACTOR
 }
 
 /// One design's prior-vs-measured cost comparison, for the suite's
@@ -184,6 +261,22 @@ impl CostModel {
             })
             .unwrap_or(0.5);
         intervals_of(opts) * factor
+    }
+
+    /// Cost estimate for a detailed-simulator cell (same unit as
+    /// [`run_cost`](CostModel::run_cost); equal to [`detail_cost`] when
+    /// nothing is measured). Measured means are kept relative to the
+    /// measured Static analytic mean, like every other row.
+    pub fn detail_cost(&self, opts: &DetailOptions, napps: usize) -> f64 {
+        let factor = self
+            .measured
+            .mean_detail_us()
+            .and_then(|detail| {
+                let base = self.measured.mean_run_us(DesignKind::Static)?;
+                (base > 0.0).then(|| detail / base)
+            })
+            .unwrap_or(DETAIL_STATIC_FACTOR);
+        detail_units(opts, napps) * factor
     }
 
     /// Prior-vs-measured drift, one row per design with measured data.
@@ -373,13 +466,60 @@ pub fn of(spec: &ExperimentSpec) -> Result<FigurePlan, Error> {
                 ],
             })
             .collect(),
-        // No analytic cells to pre-compute: the detailed-sim studies,
-        // the closed-form queueing curve, the attack demos, the tables.
+        // No analytic cells to pre-compute: Fig. 2 and validate run the
+        // detailed simulator (enumerated below), the rest are the
+        // closed-form queueing curve, the attack demos, and the tables.
         Fig02 | Fig08 | Fig11 | Fig12 | Table2 | Table3 | Validate => Vec::new(),
+    };
+    let details = match spec.kind {
+        Fig02 => {
+            let cfg = SystemConfig::micro2020();
+            let input = PlacementInput::example(&cfg);
+            let profiles = super::case_study::fig02_profiles(&input);
+            let cores: Vec<CoreId> = input.apps.iter().map(|a| a.core).collect();
+            let vms: Vec<VmId> = input.apps.iter().map(|a| a.vm).collect();
+            let opts = super::case_study::fig02_opts(&cfg, spec.accesses);
+            spec.designs
+                .iter()
+                .map(|&design| DetailPlan {
+                    design,
+                    opts: opts.clone(),
+                    profiles: profiles.clone(),
+                    cores: cores.clone(),
+                    vms: vms.clone(),
+                    alloc: CellCache::global().allocate(design, &input),
+                })
+                .collect()
+        }
+        Validate => {
+            let cfg = SystemConfig::micro2020();
+            let input = PlacementInput::example(&cfg);
+            let cores: Vec<CoreId> = input.apps.iter().map(|a| a.core).collect();
+            let vms: Vec<VmId> = input.apps.iter().map(|a| a.vm).collect();
+            let mut details = Vec::new();
+            // Render order: design outer, mix inner (cell index is
+            // `design * mixes + mix`).
+            for &design in &super::validate::DESIGNS {
+                let alloc = CellCache::global().allocate(design, &input);
+                for mix in 0..spec.mixes {
+                    details.push(DetailPlan {
+                        design,
+                        opts: super::validate::detail_opts(&cfg, spec.accesses, mix),
+                        profiles: super::validate::profiles_for_mix(&input, mix),
+                        cores: cores.clone(),
+                        vms: vms.clone(),
+                        alloc: alloc.clone(),
+                    });
+                }
+            }
+            details
+        }
+        _ => Vec::new(),
     };
     Ok(FigurePlan {
         kind: spec.kind,
         cells,
+        details,
     })
 }
 
@@ -443,16 +583,50 @@ mod tests {
     #[test]
     fn unplannable_figures_return_empty_plans() {
         for kind in [
-            FigureKind::Fig02,
             FigureKind::Fig08,
             FigureKind::Fig11,
             FigureKind::Fig12,
             FigureKind::Table2,
             FigureKind::Table3,
-            FigureKind::Validate,
         ] {
             let plan = of(&ExperimentSpec::new(kind)).expect("plan never fails here");
-            assert!(plan.cells.is_empty(), "{}", kind.name());
+            assert!(plan.is_empty(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn detailed_figures_plan_detailed_cells() {
+        // Fig. 2: one detailed cell per requested design, in render
+        // order, each with a distinct allocation identity.
+        let spec = ExperimentSpec::new(FigureKind::Fig02).accesses(4_000);
+        let plan = of(&spec).expect("plannable");
+        assert!(plan.cells.is_empty());
+        assert_eq!(plan.details.len(), spec.designs.len());
+        let mut keys: Vec<u128> = plan.details.iter().map(DetailPlan::key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), spec.designs.len(), "allocs differ per design");
+
+        // Validate: designs × mixes cells, design-major like the render.
+        let vspec = ExperimentSpec::new(FigureKind::Validate)
+            .mixes(3)
+            .accesses(4_000);
+        let vplan = of(&vspec).expect("plannable");
+        assert_eq!(vplan.details.len(), 2 * 3);
+        assert_eq!(vplan.details[0].design, DesignKind::Adaptive);
+        assert_eq!(vplan.details[3].design, DesignKind::Jumanji);
+        // Validate's mix-0 cell under a shared design dedups with
+        // fig02's cell at equal --accesses: same profiles, same seed,
+        // same allocation.
+        let shared: Vec<u128> = plan
+            .details
+            .iter()
+            .filter(|d| super::super::validate::DESIGNS.contains(&d.design))
+            .map(DetailPlan::key)
+            .collect();
+        let vkeys: Vec<u128> = vplan.details.iter().map(DetailPlan::key).collect();
+        for key in shared {
+            assert!(vkeys.contains(&key), "fig02/validate mix-0 cells dedup");
         }
     }
 

@@ -7,16 +7,19 @@ use crate::exec::parallel_map_traced;
 use crate::spec::ExperimentSpec;
 use jumanji::core::AppKind;
 use jumanji::prelude::*;
-use jumanji::sim::detail::{run_detailed_traced, DetailOptions, DetailReport};
+use jumanji::sim::detail::{DetailOptions, DetailReport};
 use jumanji::sim::perf::{evaluate, AppPerf, Profile};
 use jumanji::types::{CoreId, Error, VmId};
 use std::io::Write;
+use std::sync::Arc;
 
-const DESIGNS: [DesignKind; 2] = [DesignKind::Adaptive, DesignKind::Jumanji];
+/// The two designs validate cross-checks (shared with the plan pass).
+pub(crate) const DESIGNS: [DesignKind; 2] = [DesignKind::Adaptive, DesignKind::Jumanji];
 
 /// Builds the profile list for one mix by rotating the LC and batch
 /// rosters; mix 0 is the canonical assignment the seed tree used.
-fn profiles_for_mix(input: &PlacementInput, mix: usize) -> Vec<Profile> {
+/// Shared with the plan pass, which must name the exact same cells.
+pub(crate) fn profiles_for_mix(input: &PlacementInput, mix: usize) -> Vec<Profile> {
     let lc = tailbench();
     let batch = spec2006();
     input
@@ -30,12 +33,24 @@ fn profiles_for_mix(input: &PlacementInput, mix: usize) -> Vec<Profile> {
         .collect()
 }
 
+/// The detailed-run options for one validate mix: per-cell seeds derive
+/// from the mix index alone, so output is byte-identical at any thread
+/// count. Shared with the plan pass.
+pub(crate) fn detail_opts(cfg: &SystemConfig, accesses: usize, mix: usize) -> DetailOptions {
+    DetailOptions {
+        cfg: cfg.clone(),
+        accesses_per_app: accesses,
+        seed: DetailOptions::default().seed ^ (mix as u64).wrapping_mul(0x9E37_79B9),
+        ..DetailOptions::default()
+    }
+}
+
 struct Cell {
     design: DesignKind,
     mix: usize,
     profiles: Vec<Profile>,
     analytic: Vec<AppPerf>,
-    detail: DetailReport,
+    detail: Arc<DetailReport>,
     isolated: bool,
 }
 
@@ -72,13 +87,8 @@ pub fn validate(
             .collect();
         let alloc = CellCache::global().allocate(design, &input);
         let analytic = evaluate(&cfg, &profiles, &cores, &alloc, &rates);
-        let opts = DetailOptions {
-            cfg: cfg.clone(),
-            accesses_per_app: accesses,
-            seed: DetailOptions::default().seed ^ (mix as u64).wrapping_mul(0x9E37_79B9),
-            ..DetailOptions::default()
-        };
-        let detail = run_detailed_traced(&opts, &profiles, &cores, &vms, &alloc, tel);
+        let opts = detail_opts(&cfg, accesses, mix);
+        let detail = CellCache::global().run_detail(&opts, &profiles, &cores, &vms, &alloc, tel);
         let isolated = detail.vm_isolated(&vms);
         Cell {
             design,

@@ -286,7 +286,7 @@ pub fn mix_cell_inputs(
 /// threads: each mix's RNG streams depend only on its own seed.
 ///
 /// Every run (including the Static baseline) goes through
-/// [`Experiment::run_traced`] with `tel`, so an enabled sink sees the
+/// [`Experiment::run`] with `tel`, so an enabled sink sees the
 /// per-interval controller and allocation events of the whole matrix.
 ///
 /// # Errors

@@ -6,13 +6,15 @@
 //! builder, with one resolution order everywhere:
 //!
 //! 1. CLI flag (`--mixes`, `--threads`, `--seed`, `--accesses`,
-//!    `--trace`) — strict: a missing or unparseable value is a usage
-//!    error.
-//! 2. Environment (`JUMANJI_MIXES`, `JUMANJI_THREADS`, `JUMANJI_TRACE`)
-//!    — lenient: an unparseable value falls through, so a stale export
-//!    degrades to the default instead of silently meaning something
-//!    else.
-//! 3. The figure's own default ([`FigureKind::default_mixes`] etc.).
+//!    `--trace`, `--cache-dir`, `--no-cache`) — strict: a missing or
+//!    unparseable value is a usage error.
+//! 2. Environment (`JUMANJI_MIXES`, `JUMANJI_THREADS`, `JUMANJI_TRACE`,
+//!    `JUMANJI_CACHE_DIR`, `JUMANJI_NO_CACHE`) — lenient: an
+//!    unparseable value falls through, so a stale export degrades to
+//!    the default instead of silently meaning something else.
+//! 3. The spec's builder value ([`ExperimentSpec::cache_dir`] /
+//!    [`ExperimentSpec::no_cache`] for the cache controls), then the
+//!    figure's own default ([`FigureKind::default_mixes`] etc.).
 //!
 //! A binary is then a one-liner:
 //!
@@ -197,6 +199,13 @@ pub struct ExperimentSpec {
     pub accesses: usize,
     /// Designs to evaluate, for figures that iterate over a design list.
     pub designs: Vec<DesignKind>,
+    /// Back the shared cell cache with a persistent store at this
+    /// directory (applied by [`run_spec_to`]; ignored when `no_cache`
+    /// is set).
+    pub cache_dir: Option<PathBuf>,
+    /// Disable the shared cell cache entirely: every cell computes
+    /// fresh (beats `cache_dir`).
+    pub no_cache: bool,
     /// Write telemetry as JSONL to this path (ignored when `telemetry`
     /// is set).
     pub trace: Option<PathBuf>,
@@ -213,6 +222,8 @@ impl std::fmt::Debug for ExperimentSpec {
             .field("seed", &self.seed)
             .field("accesses", &self.accesses)
             .field("designs", &self.designs)
+            .field("cache_dir", &self.cache_dir)
+            .field("no_cache", &self.no_cache)
             .field("trace", &self.trace)
             .field("telemetry", &self.telemetry.as_ref().map(|_| ".."))
             .finish()
@@ -230,6 +241,8 @@ impl ExperimentSpec {
             seed: 1,
             accesses: kind.default_accesses(),
             designs: kind.default_designs(),
+            cache_dir: None,
+            no_cache: false,
             trace: None,
             telemetry: None,
         }
@@ -262,6 +275,23 @@ impl ExperimentSpec {
     /// Sets the design list.
     pub fn designs(mut self, designs: &[DesignKind]) -> ExperimentSpec {
         self.designs = designs.to_vec();
+        self
+    }
+
+    /// Backs the shared cell cache with a persistent store at `dir`
+    /// when the spec runs (same semantics as the binaries'
+    /// `--cache-dir`; overridden by `JUMANJI_CACHE_DIR` and the CLI
+    /// flag under [`Self::from_args_env`]).
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> ExperimentSpec {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Disables the shared cell cache for this spec's run (same
+    /// semantics as the binaries' `--no-cache`; beats
+    /// [`Self::cache_dir`]).
+    pub fn no_cache(mut self) -> ExperimentSpec {
+        self.no_cache = true;
         self
     }
 
@@ -302,6 +332,7 @@ impl ExperimentSpec {
         if let Some(p) = flag_text(args, "--trace")? {
             spec.trace = Some(PathBuf::from(p));
         }
+        resolve_cache_controls(&mut spec, args, None, None)?;
         spec.mixes = spec.mixes.max(1);
         spec.threads = spec.threads.max(1);
         spec.accesses = spec.accesses.max(1);
@@ -346,8 +377,44 @@ impl ExperimentSpec {
         if let Some(p) = flag_text(&args, "--trace")? {
             spec.trace = Some(PathBuf::from(p));
         }
+        resolve_cache_controls(
+            &mut spec,
+            &args,
+            std::env::var("JUMANJI_NO_CACHE").ok(),
+            std::env::var("JUMANJI_CACHE_DIR").ok(),
+        )?;
         Ok(spec)
     }
+}
+
+/// Resolves the spec's cache controls with the binaries' precedence:
+/// CLI flag beats environment beats whatever the builder set. The
+/// environment is lenient (empty or `0` means unset), the CLI strict —
+/// factored over explicit `env_*` values so tests need not mutate
+/// process environment.
+fn resolve_cache_controls(
+    spec: &mut ExperimentSpec,
+    args: &[String],
+    env_no_cache: Option<String>,
+    env_cache_dir: Option<String>,
+) -> Result<(), Error> {
+    if let Some(v) = env_no_cache {
+        if !v.is_empty() && v != "0" {
+            spec.no_cache = true;
+        }
+    }
+    if let Some(dir) = env_cache_dir {
+        if !dir.is_empty() {
+            spec.cache_dir = Some(PathBuf::from(dir));
+        }
+    }
+    if args.iter().any(|a| a == "--no-cache") {
+        spec.no_cache = true;
+    }
+    if let Some(dir) = flag_text(args, "--cache-dir")? {
+        spec.cache_dir = Some(PathBuf::from(dir));
+    }
+    Ok(())
 }
 
 /// The value of `flag`, as text, in either `--flag value` or
@@ -408,6 +475,18 @@ pub fn run_spec(spec: &ExperimentSpec) -> Result<(), Error> {
 /// Returns usage errors for bad spec inputs (unknown workload names),
 /// and runtime errors for I/O failures on `out` or the trace file.
 pub fn run_spec_to(spec: &ExperimentSpec, out: &mut dyn Write) -> Result<(), Error> {
+    let cache = crate::cell_cache::CellCache::global();
+    if spec.no_cache {
+        cache.set_enabled(false);
+    } else if let Some(dir) = &spec.cache_dir {
+        // The binaries attach the store in `apply_cache_flags` before
+        // the spec exists; re-attaching the same root would reset its
+        // counters mid-run, so only attach when the root differs.
+        let attached = cache.disk().is_some_and(|d| d.root() == dir.as_path());
+        if !attached {
+            crate::cell_cache::attach_global_disk(&dir.to_string_lossy());
+        }
+    }
     let jsonl;
     let tel: &dyn Telemetry = match (&spec.telemetry, &spec.trace) {
         (Some(sink), _) => sink.as_ref(),
@@ -538,6 +617,73 @@ mod tests {
         let err = ExperimentSpec::from_args(FigureKind::Fig13, &argv(&["fig13", "--mixes=x"]))
             .expect_err("unparseable value");
         assert!(err.is_usage());
+    }
+
+    #[test]
+    fn cache_controls_resolve_cli_over_env_over_builder() {
+        use std::path::Path;
+        // Builder value survives when neither CLI nor env speaks.
+        let mut spec = ExperimentSpec::new(FigureKind::Fig13).cache_dir("/from/builder");
+        resolve_cache_controls(&mut spec, &argv(&["fig13"]), None, None).expect("valid");
+        assert_eq!(spec.cache_dir.as_deref(), Some(Path::new("/from/builder")));
+        assert!(!spec.no_cache);
+
+        // Environment beats the builder.
+        let mut spec = ExperimentSpec::new(FigureKind::Fig13).cache_dir("/from/builder");
+        resolve_cache_controls(
+            &mut spec,
+            &argv(&["fig13"]),
+            Some("1".into()),
+            Some("/from/env".into()),
+        )
+        .expect("valid");
+        assert_eq!(spec.cache_dir.as_deref(), Some(Path::new("/from/env")));
+        assert!(spec.no_cache);
+
+        // CLI beats the environment.
+        let mut spec = ExperimentSpec::new(FigureKind::Fig13);
+        resolve_cache_controls(
+            &mut spec,
+            &argv(&["fig13", "--cache-dir", "/from/cli"]),
+            None,
+            Some("/from/env".into()),
+        )
+        .expect("valid");
+        assert_eq!(spec.cache_dir.as_deref(), Some(Path::new("/from/cli")));
+
+        // Env no-cache is lenient: empty and `0` mean unset.
+        let mut spec = ExperimentSpec::new(FigureKind::Fig13);
+        resolve_cache_controls(&mut spec, &argv(&["fig13"]), Some("0".into()), None)
+            .expect("valid");
+        assert!(!spec.no_cache);
+        let mut spec = ExperimentSpec::new(FigureKind::Fig13);
+        resolve_cache_controls(&mut spec, &argv(&["fig13"]), Some(String::new()), None)
+            .expect("valid");
+        assert!(!spec.no_cache);
+
+        // CLI --no-cache is a bare flag; --cache-dir stays strict.
+        let mut spec = ExperimentSpec::new(FigureKind::Fig13);
+        resolve_cache_controls(&mut spec, &argv(&["fig13", "--no-cache"]), None, None)
+            .expect("valid");
+        assert!(spec.no_cache);
+        let mut spec = ExperimentSpec::new(FigureKind::Fig13);
+        let err = resolve_cache_controls(&mut spec, &argv(&["fig13", "--cache-dir"]), None, None)
+            .expect_err("missing value");
+        assert!(err.is_usage());
+    }
+
+    #[test]
+    fn builder_cache_controls_set_fields() {
+        let spec = ExperimentSpec::new(FigureKind::Fig14)
+            .cache_dir("/tmp/cells")
+            .no_cache();
+        assert_eq!(
+            spec.cache_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/cells"))
+        );
+        assert!(spec.no_cache);
+        let spec = ExperimentSpec::new(FigureKind::Fig14);
+        assert!(spec.cache_dir.is_none() && !spec.no_cache);
     }
 
     #[test]

@@ -7,9 +7,11 @@
 //!    computing them ([`figures::plan`]).
 //! 2. **Union.** The plans merge into one deduplicated work graph: one
 //!    node per unique experiment construction, one per unique
-//!    `(experiment, design)` run, keyed by the same content fingerprints
-//!    the [`CellCache`] uses. A cell shared by fig13/fig14/fig15 becomes
-//!    a single node, no matter how many figures want it.
+//!    `(experiment, design)` run, and one per unique detailed-simulator
+//!    cell, keyed by the same content fingerprints the [`CellCache`]
+//!    uses. A cell shared by fig13/fig14/fig15 becomes a single node, no
+//!    matter how many figures want it — and at equal `--accesses`, a
+//!    validate mix-0 detailed cell is fig02's cell for that design.
 //! 3. **Schedule.** The graph executes on the work-stealing pool
 //!    ([`exec::sched`]), long poles first, writing every result through
 //!    the process-wide cache — exactly where the render pass (and the
@@ -74,10 +76,16 @@ pub struct SchedReport {
     pub nodes: usize,
     /// Dependency edges in the graph.
     pub edges: usize,
+    /// Detailed-cell lookups the figures planned, before deduplication.
+    pub planned_details: usize,
     /// Run nodes served straight from the persistent disk store.
     pub disk_run_hits: u64,
     /// Run nodes the scheduler actually simulated this call.
     pub computed_runs: u64,
+    /// Detailed-simulator nodes served from the persistent disk store.
+    pub detail_disk_hits: u64,
+    /// Detailed-simulator nodes the scheduler actually computed.
+    pub detail_computed: u64,
     /// Experiment constructions skipped because every dependent run
     /// cell was already warm (in memory or on disk).
     pub warm_skipped_exps: u64,
@@ -98,12 +106,13 @@ pub struct SuiteReport {
     pub sched: Option<SchedReport>,
 }
 
-/// A work-graph node: construct an experiment, or run a design on one.
-/// The experiment inputs are boxed so the common `Run` variant stays a
-/// few bytes.
+/// A work-graph node: construct an experiment, run a design on one, or
+/// run one detailed-simulator cell. The large variants are boxed so the
+/// common `Run` variant stays a few bytes.
 enum Node {
     Exp(Box<ExpCell>),
     Run { exp: u32, design: DesignKind },
+    Detail(Box<plan::DetailPlan>),
 }
 
 /// An experiment node's inputs.
@@ -131,6 +140,8 @@ struct Union {
     run_keys: Vec<Vec<u128>>,
     /// Total planned design runs before deduplication.
     planned_runs: usize,
+    /// Total planned detailed cells before deduplication.
+    planned_details: usize,
 }
 
 /// Unions figure plans into one deduplicated graph, costed by `model`
@@ -149,9 +160,11 @@ fn union_plans(plans: &[plan::FigurePlan], model: &plan::CostModel) -> Union {
         intervals: Vec::new(),
         run_keys: Vec::new(),
         planned_runs: 0,
+        planned_details: 0,
     };
     let mut exp_ids: HashMap<u128, u32> = HashMap::new();
     let mut run_ids: HashMap<u128, u32> = HashMap::new();
+    let mut detail_ids: HashMap<u128, u32> = HashMap::new();
     for (f, plan) in plans.iter().enumerate() {
         let f32u = f as u32;
         for cell in &plan.cells {
@@ -201,6 +214,27 @@ fn union_plans(plans: &[plan::FigurePlan], model: &plan::CostModel) -> Union {
                 }
             }
         }
+        // Detailed cells are root nodes: the allocation they simulate is
+        // embedded in the plan, so they depend on no experiment node.
+        for detail in &plan.details {
+            u.planned_details += 1;
+            let units = plan::detail_units(&detail.opts, detail.profiles.len());
+            let detail_id = *detail_ids.entry(detail.key()).or_insert_with(|| {
+                let id = u.nodes.len() as u32;
+                u.costs
+                    .push(model.detail_cost(&detail.opts, detail.profiles.len()));
+                u.nodes.push(Node::Detail(Box::new(detail.clone())));
+                u.deps.push(Vec::new());
+                u.node_figures.push(Vec::new());
+                u.intervals.push((units.round() as u64).max(1));
+                u.run_keys.push(Vec::new());
+                id
+            });
+            if u.node_figures[detail_id as usize].last() != Some(&f32u) {
+                u.node_figures[detail_id as usize].push(f32u);
+                u.figure_nodes[f] += 1;
+            }
+        }
     }
     u
 }
@@ -248,17 +282,18 @@ fn render_figure(
     tel: &dyn Telemetry,
     cache: &CellCache,
 ) -> Result<SuiteFigure, Error> {
-    let before = cache.stats().runs;
+    let before = cache.stats();
     let start = Instant::now();
     let mut bytes = Vec::new();
     figures::emit(spec, tel, &mut bytes)?;
-    let after = cache.stats().runs;
+    let after = cache.stats();
     Ok(SuiteFigure {
         kind: spec.kind,
         bytes,
         seconds: start.elapsed().as_secs_f64(),
-        computed: after.misses - before.misses,
-        reused: after.hits - before.hits,
+        computed: (after.runs.misses - before.runs.misses)
+            + (after.details.misses - before.details.misses),
+        reused: (after.runs.hits - before.runs.hits) + (after.details.hits - before.details.hits),
     })
 }
 
@@ -367,6 +402,17 @@ pub fn run_suite(
                 };
                 node_state[i].store(state, Ordering::Relaxed);
             }
+            Node::Detail(d) => {
+                sched_lookups.fetch_add(1, Ordering::SeqCst);
+                let (_, source) =
+                    cache.run_detail_sourced(&d.opts, &d.profiles, &d.cores, &d.vms, &d.alloc, tel);
+                let state = match source {
+                    RunSource::Computed => COMPUTED,
+                    RunSource::Disk => FROM_DISK,
+                    RunSource::Memory => WARM,
+                };
+                node_state[i].store(state, Ordering::Relaxed);
+            }
         }
         let mut st = progress.state.lock().expect("progress lock");
         let mut completed_a_figure = false;
@@ -398,7 +444,7 @@ pub fn run_suite(
             // once per unique cell) by the scheduler, so the render uses
             // a no-op sink. Unplanned figures compute here and trace
             // normally.
-            let render_tel: &dyn Telemetry = if tel.enabled() && !plans[f].cells.is_empty() {
+            let render_tel: &dyn Telemetry = if tel.enabled() && !plans[f].is_empty() {
                 &NoopSink
             } else {
                 tel
@@ -430,6 +476,8 @@ pub fn run_suite(
     let mut disk_run_hits = 0u64;
     let mut computed_runs = 0u64;
     let mut warm_skipped_exps = 0u64;
+    let mut detail_disk_hits = 0u64;
+    let mut detail_computed = 0u64;
     if graph_report.node_us.len() == union.nodes.len() {
         for (i, node) in union.nodes.iter().enumerate() {
             let state = node_state[i].load(Ordering::Relaxed);
@@ -449,6 +497,14 @@ pub fn run_suite(
                     FROM_DISK => disk_run_hits += 1,
                     _ => {}
                 },
+                Node::Detail(_) => match state {
+                    COMPUTED => {
+                        detail_computed += 1;
+                        measured.record_detail(union.intervals[i] as f64, graph_report.node_us[i]);
+                    }
+                    FROM_DISK => detail_disk_hits += 1,
+                    _ => {}
+                },
             }
         }
     }
@@ -463,10 +519,13 @@ pub fn run_suite(
     report.total_seconds = start.elapsed().as_secs_f64();
     report.sched = Some(SchedReport {
         planned_runs: union.planned_runs,
+        planned_details: union.planned_details,
         nodes: graph.len(),
         edges: graph.edges(),
         disk_run_hits,
         computed_runs,
+        detail_disk_hits,
+        detail_computed,
         warm_skipped_exps,
         drift: plan::CostModel::from_measured(combined).drift(),
         graph: graph_report,
@@ -511,12 +570,47 @@ mod tests {
             match node {
                 Node::Exp(_) => assert!(u.deps[i].is_empty()),
                 Node::Run { exp, .. } => assert_eq!(u.deps[i], vec![*exp]),
+                Node::Detail(_) => unreachable!("fig05 plans no detailed cells"),
             }
         }
         // The graph orders the long poles: every run's priority is below
         // its experiment's (the experiment unlocks the whole cell).
         let g = Graph::new(&u.costs, u.deps.clone());
         assert!(g.priority(0) > g.priority(1));
+    }
+
+    #[test]
+    fn union_dedups_detailed_cells_across_fig02_and_validate() {
+        // At equal --accesses, validate's mix-0 cells for its two
+        // designs are byte-for-byte fig02's cells: same profiles, same
+        // seed, same allocation. The union must schedule each once.
+        let specs: Vec<ExperimentSpec> = [FigureKind::Fig02, FigureKind::Validate]
+            .iter()
+            .map(|&k| ExperimentSpec::new(k).mixes(2).accesses(4_000).threads(2))
+            .collect();
+        let plans: Vec<_> = specs.iter().map(|s| plan::of(s).unwrap()).collect();
+        let u = union_plans(&plans, &plan::CostModel::priors());
+        let detail_nodes = u
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Detail(_)))
+            .count();
+        assert_eq!(
+            u.planned_details,
+            plans[0].details.len() + plans[1].details.len()
+        );
+        // fig02 plans 4 designs, validate 2 designs × 2 mixes; the two
+        // mix-0 validate cells fold into fig02's.
+        assert_eq!(u.planned_details, 8);
+        assert_eq!(detail_nodes, 6);
+        // Detail nodes are roots: no dependencies, and nothing to
+        // warm-skip through run_keys.
+        for (i, node) in u.nodes.iter().enumerate() {
+            if matches!(node, Node::Detail(_)) {
+                assert!(u.deps[i].is_empty());
+                assert!(u.run_keys[i].is_empty());
+            }
+        }
     }
 
     #[test]

@@ -7,13 +7,17 @@
 //! result byte-identical to a fresh computation, or silently recomputes
 //! it. Never a panic, never a wrong answer.
 
-use jumanji::core::DesignKind;
+use jumanji::core::{AppKind, DesignKind, PlacementInput};
+use jumanji::prelude::*;
+use jumanji::sim::detail::{DetailAppStats, DetailOptions, DetailReport};
+use jumanji::sim::perf::Profile;
 use jumanji::sim::SimOptions;
 use jumanji::telemetry::NoopSink;
-use jumanji::types::Seconds;
-use jumanji::workloads::{case_study_mix, LcLoad};
-use jumanji_bench::cell_cache::{experiment_key, run_key, CellCache, RunSource};
+use jumanji::types::{AppId, CoreId, Seconds, VmId};
+use jumanji::workloads::case_study_mix;
+use jumanji_bench::cell_cache::{detail_key, experiment_key, run_key, CellCache, RunSource};
 use jumanji_bench::DiskCache;
+use proptest::prelude::*;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -100,6 +104,158 @@ fn corrupt_entries_recompute_identically() {
     assert_recovers(&dir, &reference, "wrong version");
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The one detailed cell the detail-recovery test uses: the paper's
+/// example placement under Jumanji, shortened to a few thousand
+/// accesses.
+fn detail_inputs() -> (
+    DetailOptions,
+    Vec<Profile>,
+    Vec<CoreId>,
+    Vec<VmId>,
+    Allocation,
+) {
+    let cfg = SystemConfig::micro2020();
+    let input = PlacementInput::example(&cfg);
+    let lc = tailbench();
+    let batch = spec2006();
+    let profiles: Vec<Profile> = input
+        .apps
+        .iter()
+        .enumerate()
+        .map(|(i, a)| match a.kind {
+            AppKind::LatencyCritical => Profile::Lc(lc[i % lc.len()].clone(), LcLoad::High),
+            AppKind::Batch => Profile::Batch(batch[i % batch.len()].clone()),
+        })
+        .collect();
+    let cores: Vec<CoreId> = input.apps.iter().map(|a| a.core).collect();
+    let vms: Vec<VmId> = input.apps.iter().map(|a| a.vm).collect();
+    let alloc = DesignKind::Jumanji.allocate(&input);
+    let opts = DetailOptions {
+        cfg,
+        accesses_per_app: 2_000,
+        ..DetailOptions::default()
+    };
+    (opts, profiles, cores, vms, alloc)
+}
+
+/// Runs that detailed cell through the cache and reports where the
+/// report came from. Debug formatting prints floats shortest-roundtrip,
+/// so equal strings imply bit-equal reports.
+fn run_detail_cell(cache: &CellCache) -> (String, RunSource) {
+    let (opts, profiles, cores, vms, alloc) = detail_inputs();
+    let (report, source) =
+        cache.run_detail_sourced(&opts, &profiles, &cores, &vms, &alloc, &NoopSink);
+    (format!("{report:?}"), source)
+}
+
+/// The on-disk path of that cell's entry in the `details/` namespace.
+fn detail_file(dir: &Path) -> PathBuf {
+    let (opts, profiles, cores, vms, alloc) = detail_inputs();
+    let key = detail_key(&opts, &profiles, &cores, &vms, &alloc);
+    dir.join("details").join(format!("{key:032x}.bin"))
+}
+
+/// [`assert_recovers`], for the detailed-simulator namespace.
+fn assert_detail_recovers(dir: &Path, reference: &str, what: &str) {
+    let cache = cache_with(dir);
+    let (out, source) = run_detail_cell(&cache);
+    assert_eq!(source, RunSource::Computed, "{what}: must fall back");
+    assert_eq!(out, reference, "{what}: recomputed report must match");
+    let disk = cache.stats().disk.expect("disk attached");
+    assert_eq!(disk.corrupt_dropped, 1, "{what}: corrupt entry dropped");
+    assert!(disk.writes >= 1, "{what}: recomputed cell rewritten");
+
+    let (out, source) = run_detail_cell(&cache_with(dir));
+    assert_eq!(source, RunSource::Disk, "{what}: store must heal");
+    assert_eq!(out, reference);
+}
+
+#[test]
+fn corrupt_detail_entries_recompute_identically() {
+    let dir = temp_dir("detail-corrupt");
+    let (reference, source) = run_detail_cell(&cache_with(&dir));
+    assert_eq!(source, RunSource::Computed);
+    let file = detail_file(&dir);
+    let pristine = std::fs::read(&file).expect("cold run wrote the entry");
+
+    // Truncated entry (interrupted write without the atomic rename).
+    std::fs::write(&file, &pristine[..pristine.len() / 2]).expect("truncate");
+    assert_detail_recovers(&dir, &reference, "truncated");
+
+    // Bit flip in the payload: the envelope checksum catches it.
+    let mut flipped = pristine.clone();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 0x40;
+    std::fs::write(&file, &flipped).expect("flip");
+    assert_detail_recovers(&dir, &reference, "bad checksum");
+
+    // An entry from a different format version (bytes 4..6 of the
+    // envelope hold the little-endian version).
+    let mut other_version = pristine.clone();
+    other_version[4] ^= 0xFF;
+    std::fs::write(&file, &other_version).expect("reversion");
+    assert_detail_recovers(&dir, &reference, "wrong version");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Strategy for one app's counters: wide-range u64s, finite
+/// non-negative float sums (the decoder rejects non-finite totals by
+/// design).
+fn app_stats() -> impl Strategy<Value = DetailAppStats> {
+    (
+        (0u64..u64::MAX, 0u64..u64::MAX, 0.0f64..1e18, 0.0f64..1e18),
+        (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
+    )
+        .prop_map(
+            |(
+                (accesses, misses, total_latency, total_hops),
+                (port_wait, tlb_misses, writebacks),
+            )| {
+                DetailAppStats {
+                    accesses,
+                    misses,
+                    total_latency,
+                    total_hops,
+                    port_wait,
+                    tlb_misses,
+                    writebacks,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any well-formed report — any counter values, any occupant sets
+    /// over the report's own apps — survives the store bit-exactly.
+    #[test]
+    fn detail_reports_round_trip_bit_exactly(
+        apps in proptest::collection::vec(app_stats(), 1..6),
+        bank_seed in proptest::collection::vec(
+            proptest::collection::vec(0usize..6, 0..4), 0..8),
+        key_hi in 0u64..u64::MAX,
+        key_lo in 0u64..u64::MAX,
+    ) {
+        let key = ((key_hi as u128) << 64) | key_lo as u128;
+        let napps = apps.len();
+        let report = DetailReport {
+            bank_occupants: bank_seed
+                .iter()
+                .map(|occ| occ.iter().map(|&a| AppId(a % napps)).collect())
+                .collect(),
+            apps,
+        };
+        let dir = temp_dir("detail-prop");
+        let disk = DiskCache::open(&dir).expect("open store");
+        disk.store_detail(key, &report);
+        let loaded = disk.load_detail(key).expect("entry readable");
+        prop_assert_eq!(format!("{:?}", loaded), format!("{:?}", report));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 #[test]

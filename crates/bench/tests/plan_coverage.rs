@@ -23,12 +23,14 @@ use jumanji_bench::{ExperimentSpec, FigureKind};
 #[test]
 fn plans_cover_their_renders_exactly() {
     let mut plannable = vec![
+        FigureKind::Fig02,
         FigureKind::Fig04,
         FigureKind::Fig05,
         FigureKind::Fig09,
         FigureKind::Fig17,
         FigureKind::Fig18,
         FigureKind::Ablation,
+        FigureKind::Validate,
     ];
     if std::env::var_os("JUMANJI_SUITE_GOLDEN").is_some() {
         plannable.extend([
@@ -43,7 +45,12 @@ fn plans_cover_their_renders_exactly() {
     }
     let cache = CellCache::global();
     for &kind in &plannable {
-        let specs = [ExperimentSpec::new(kind).mixes(2).threads(2)];
+        // Short detailed runs keep fig02/validate cheap; the analytic
+        // figures ignore `accesses`.
+        let specs = [ExperimentSpec::new(kind)
+            .mixes(2)
+            .threads(2)
+            .accesses(4_000)];
 
         cache.clear();
         let mut rendered = Vec::new();
@@ -52,7 +59,8 @@ fn plans_cover_their_renders_exactly() {
             Ok(())
         })
         .expect("scheduled suite runs");
-        let scheduled_misses = cache.stats().runs.misses;
+        let stats = cache.stats();
+        let scheduled_misses = stats.runs.misses + stats.details.misses;
         let (computed, reused) = rendered[0];
         assert_eq!(
             computed,
@@ -68,7 +76,8 @@ fn plans_cover_their_renders_exactly() {
 
         cache.clear();
         run_suite(&specs, 2, true, &NoopSink, &mut |_| Ok(())).expect("sequential suite runs");
-        let sequential_misses = cache.stats().runs.misses;
+        let stats = cache.stats();
+        let sequential_misses = stats.runs.misses + stats.details.misses;
         assert_eq!(
             scheduled_misses, sequential_misses,
             "{}: scheduled path computed {scheduled_misses} run cells, sequential {sequential_misses}",

@@ -16,8 +16,10 @@ use jumanji_bench::{ExperimentSpec, FigureKind};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Figures with a non-empty plan (the ones the scheduler can own).
-const PLANNABLE: [FigureKind; 11] = [
+/// Figures with a non-empty plan (the ones the scheduler can own) —
+/// analytic matrices plus the two detailed-simulator studies.
+const PLANNABLE: [FigureKind; 13] = [
+    FigureKind::Fig02,
     FigureKind::Fig04,
     FigureKind::Fig05,
     FigureKind::Fig09,
@@ -29,6 +31,7 @@ const PLANNABLE: [FigureKind; 11] = [
     FigureKind::Fig18,
     FigureKind::Ablation,
     FigureKind::Sensitivity,
+    FigureKind::Validate,
 ];
 
 /// Distinct spec seed per case so every case's cells start cold in the
@@ -64,7 +67,16 @@ proptest! {
             .collect();
         let specs: Vec<ExperimentSpec> = kinds
             .iter()
-            .map(|&k| ExperimentSpec::new(k).mixes(1).threads(threads).seed(seed))
+            // The seed varies the analytic cells; accesses varies the
+            // detailed ones (whose identity ignores the spec seed), so
+            // each case's cells start cold.
+            .map(|&k| {
+                ExperimentSpec::new(k)
+                    .mixes(1)
+                    .threads(threads)
+                    .seed(seed)
+                    .accesses(4_000 + (seed as usize & 0xF))
+            })
             .collect();
         // Scheduler first: its cells are cold, so the work graph (not
         // the warm cache) produces them.

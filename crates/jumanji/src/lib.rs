@@ -18,8 +18,8 @@
 //! let mix = case_study_mix(1);
 //! let exp = Experiment::new(mix, LcLoad::High, SimOptions::default());
 //!
-//! let baseline = exp.run(DesignKind::Static);
-//! let jumanji = exp.run(DesignKind::Jumanji);
+//! let baseline = exp.run(DesignKind::Static, &NoopSink);
+//! let jumanji = exp.run(DesignKind::Jumanji, &NoopSink);
 //!
 //! println!("tail latency (ms): {:?}", jumanji.lc_tail_latency_ms);
 //! println!("deadline met: {}", jumanji.max_norm_tail() <= 1.0);

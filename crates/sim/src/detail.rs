@@ -177,24 +177,16 @@ fn build_masks(cfg: &SystemConfig, alloc: &Allocation, n_apps: usize) -> Vec<Vec
 /// per turn), each with its own clock; contention meets at the banks'
 /// ports and the memory channels.
 ///
+/// Untraced callers pass [`&NoopSink`](NoopSink); with an enabled sink,
+/// per-bank contention counters ([`Event::DetailBank`]) are accumulated
+/// during the run and emitted at the end, one event per bank. Tracing
+/// never perturbs the simulation — a traced run returns a bit-identical
+/// [`DetailReport`].
+///
 /// # Panics
 ///
 /// Panics if `apps`, `cores`, and the allocation disagree in length.
-pub fn run_detailed(
-    opts: &DetailOptions,
-    profiles: &[Profile],
-    cores: &[CoreId],
-    vms: &[VmId],
-    alloc: &Allocation,
-) -> DetailReport {
-    run_detailed_traced(opts, profiles, cores, vms, alloc, &NoopSink)
-}
-
-/// [`run_detailed`] with telemetry: per-bank contention counters
-/// ([`Event::DetailBank`]) are accumulated during the run and emitted at
-/// the end, one event per bank. Tracing never perturbs the simulation — a
-/// traced run returns a bit-identical [`DetailReport`].
-pub fn run_detailed_traced<T: Telemetry + ?Sized>(
+pub fn run_detailed<T: Telemetry + ?Sized>(
     opts: &DetailOptions,
     profiles: &[Profile],
     cores: &[CoreId],
@@ -489,7 +481,14 @@ mod tests {
     fn jumanji_allocation_isolates_vms_in_real_cache_state() {
         let (cfg, profiles, cores, vms, input) = setup();
         let alloc = DesignKind::Jumanji.allocate(&input);
-        let report = run_detailed(&quick_opts(&cfg), &profiles, &cores, &vms, &alloc);
+        let report = run_detailed(
+            &quick_opts(&cfg),
+            &profiles,
+            &cores,
+            &vms,
+            &alloc,
+            &NoopSink,
+        );
         assert!(
             report.vm_isolated(&vms),
             "occupancy: {:?}",
@@ -501,7 +500,14 @@ mod tests {
     fn snuca_allocation_mixes_vms_in_real_cache_state() {
         let (cfg, profiles, cores, vms, input) = setup();
         let alloc = DesignKind::Adaptive.allocate(&input);
-        let report = run_detailed(&quick_opts(&cfg), &profiles, &cores, &vms, &alloc);
+        let report = run_detailed(
+            &quick_opts(&cfg),
+            &profiles,
+            &cores,
+            &vms,
+            &alloc,
+            &NoopSink,
+        );
         assert!(!report.vm_isolated(&vms));
     }
 
@@ -514,6 +520,7 @@ mod tests {
             &cores,
             &vms,
             &DesignKind::Adaptive.allocate(&input),
+            &NoopSink,
         );
         let dnuca = run_detailed(
             &quick_opts(&cfg),
@@ -521,6 +528,7 @@ mod tests {
             &cores,
             &vms,
             &DesignKind::Jumanji.allocate(&input),
+            &NoopSink,
         );
         let avg = |r: &DetailReport| {
             r.apps.iter().map(|a| a.avg_hops()).sum::<f64>() / r.apps.len() as f64
@@ -539,7 +547,7 @@ mod tests {
         let alloc = DesignKind::Jumanji.allocate(&input);
         let mut opts = quick_opts(&cfg);
         opts.accesses_per_app = 60_000;
-        let report = run_detailed(&opts, &profiles, &cores, &vms, &alloc);
+        let report = run_detailed(&opts, &profiles, &cores, &vms, &alloc, &NoopSink);
         let mut checked = 0;
         for a in &input.apps {
             let cap = alloc.of(a.id).total_bytes();
@@ -583,8 +591,22 @@ mod tests {
     fn detailed_run_is_deterministic() {
         let (cfg, profiles, cores, vms, input) = setup();
         let alloc = DesignKind::Jumanji.allocate(&input);
-        let r1 = run_detailed(&quick_opts(&cfg), &profiles, &cores, &vms, &alloc);
-        let r2 = run_detailed(&quick_opts(&cfg), &profiles, &cores, &vms, &alloc);
+        let r1 = run_detailed(
+            &quick_opts(&cfg),
+            &profiles,
+            &cores,
+            &vms,
+            &alloc,
+            &NoopSink,
+        );
+        let r2 = run_detailed(
+            &quick_opts(&cfg),
+            &profiles,
+            &cores,
+            &vms,
+            &alloc,
+            &NoopSink,
+        );
         assert_eq!(r1.apps, r2.apps);
     }
 
@@ -596,8 +618,8 @@ mod tests {
         lo.write_frac = 0.05;
         let mut hi = quick_opts(&cfg);
         hi.write_frac = 0.6;
-        let rl = run_detailed(&lo, &profiles, &cores, &vms, &alloc);
-        let rh = run_detailed(&hi, &profiles, &cores, &vms, &alloc);
+        let rl = run_detailed(&lo, &profiles, &cores, &vms, &alloc, &NoopSink);
+        let rh = run_detailed(&hi, &profiles, &cores, &vms, &alloc, &NoopSink);
         let wb = |r: &DetailReport| r.apps.iter().map(|a| a.writebacks).sum::<u64>();
         assert!(wb(&rh) > 2 * wb(&rl), "lo {} hi {}", wb(&rl), wb(&rh));
         assert!(wb(&rl) > 0);
@@ -607,7 +629,14 @@ mod tests {
     fn tlbs_capture_page_locality() {
         let (cfg, profiles, cores, vms, input) = setup();
         let alloc = DesignKind::Jumanji.allocate(&input);
-        let report = run_detailed(&quick_opts(&cfg), &profiles, &cores, &vms, &alloc);
+        let report = run_detailed(
+            &quick_opts(&cfg),
+            &profiles,
+            &cores,
+            &vms,
+            &alloc,
+            &NoopSink,
+        );
         for (i, s) in report.apps.iter().enumerate() {
             // Hot regions have strong page locality; even streaming apps
             // get some spatial reuse within a page. TLB misses must be
@@ -623,7 +652,14 @@ mod tests {
     fn port_waits_are_recorded() {
         let (cfg, profiles, cores, vms, input) = setup();
         let alloc = DesignKind::Adaptive.allocate(&input);
-        let report = run_detailed(&quick_opts(&cfg), &profiles, &cores, &vms, &alloc);
+        let report = run_detailed(
+            &quick_opts(&cfg),
+            &profiles,
+            &cores,
+            &vms,
+            &alloc,
+            &NoopSink,
+        );
         let total_wait: u64 = report.apps.iter().map(|a| a.port_wait).sum();
         // Twenty apps striped over twenty banks collide occasionally.
         assert!(total_wait > 0, "some port contention must occur");

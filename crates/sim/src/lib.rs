@@ -24,10 +24,11 @@
 //! use nuca_sim::{Experiment, SimOptions};
 //! use nuca_workloads::{case_study_mix, LcLoad};
 //! use jumanji_core::DesignKind;
+//! use jumanji_telemetry::NoopSink;
 //!
 //! let mix = case_study_mix(1);
 //! let exp = Experiment::new(mix, LcLoad::High, SimOptions::default());
-//! let result = exp.run(DesignKind::Jumanji);
+//! let result = exp.run(DesignKind::Jumanji, &NoopSink);
 //! println!("tail latency: {:?}", result.lc_tail_latency_ms);
 //! ```
 

@@ -9,7 +9,7 @@ use crate::queueing::{Completion, LcQueue};
 use jumanji_core::{
     Allocation, AppModel, ControllerParams, DesignKind, FeedbackController, PlacementInput,
 };
-use jumanji_telemetry::{Event, NoopSink, Telemetry};
+use jumanji_telemetry::{Event, Telemetry};
 use nuca_cache::MissCurve;
 use nuca_noc::MeshNoc;
 use nuca_types::{AppId, CoreId, Seconds, SystemConfig, VmId};
@@ -283,27 +283,19 @@ impl Experiment {
         &self.deadlines
     }
 
-    /// Runs the experiment under `design`.
-    pub fn run(&self, design: DesignKind) -> ExperimentResult {
-        // Monomorphized over `NoopSink`: `enabled()` constant-folds to
-        // `false` and every telemetry branch is dead code, so this compiles
-        // to exactly the untraced hot loop.
-        self.run_traced(design, &NoopSink)
-    }
-
     /// Runs the experiment under `design`, emitting telemetry into `tel`.
     ///
+    /// Untraced callers pass [`&NoopSink`](jumanji_telemetry::NoopSink): `enabled()`
+    /// constant-folds to `false` and every telemetry branch is dead code,
+    /// so that monomorphization compiles to exactly the untraced hot loop.
+    ///
     /// Emission never feeds back into the simulation: a traced run
-    /// produces a bit-identical [`ExperimentResult`] to [`Experiment::run`].
+    /// produces a bit-identical [`ExperimentResult`] to an untraced one.
     /// Per interval the sink sees one [`Event::Controller`] per LC app and
     /// one [`Event::Allocation`] for the design's placement decision
     /// (including whether the interval hit the allocator memo); the run
     /// closes with an [`Event::RunSummary`].
-    pub fn run_traced<T: Telemetry + ?Sized>(
-        &self,
-        design: DesignKind,
-        tel: &T,
-    ) -> ExperimentResult {
+    pub fn run<T: Telemetry + ?Sized>(&self, design: DesignKind, tel: &T) -> ExperimentResult {
         let tracing = tel.enabled();
         let cfg = &self.opts.cfg;
         let freq = cfg.freq_hz;
@@ -829,6 +821,7 @@ pub fn seed_ratio_hull(key: u128, hull: Arc<MissCurve>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use jumanji_telemetry::NoopSink;
     use nuca_types::Seconds;
     use nuca_workloads::case_study_mix;
 
@@ -842,7 +835,7 @@ mod tests {
     #[test]
     fn case_study_jumanji_meets_deadlines() {
         let exp = Experiment::new(case_study_mix(1), LcLoad::High, quick_opts());
-        let r = exp.run(DesignKind::Jumanji);
+        let r = exp.run(DesignKind::Jumanji, &NoopSink);
         // The controller's target band rides just below the deadline, and
         // the paper itself reports "rare exceptions"; transient spikes can
         // push the whole-run p95 slightly past 1.0 in a short run.
@@ -860,7 +853,7 @@ mod tests {
         // tail-blind placement starves the LC apps outright; milder mixes
         // still violate, but less spectacularly.
         let exp = Experiment::new(case_study_mix(4), LcLoad::High, quick_opts());
-        let r = exp.run(DesignKind::Jigsaw);
+        let r = exp.run(DesignKind::Jigsaw, &NoopSink);
         assert!(
             r.max_norm_tail() > 2.0,
             "jigsaw norm tails: {:?}",
@@ -871,9 +864,9 @@ mod tests {
     #[test]
     fn jumanji_beats_snuca_batch_throughput() {
         let exp = Experiment::new(case_study_mix(1), LcLoad::High, quick_opts());
-        let stat = exp.run(DesignKind::Static);
-        let adaptive = exp.run(DesignKind::Adaptive);
-        let jumanji = exp.run(DesignKind::Jumanji);
+        let stat = exp.run(DesignKind::Static, &NoopSink);
+        let adaptive = exp.run(DesignKind::Adaptive, &NoopSink);
+        let jumanji = exp.run(DesignKind::Jumanji, &NoopSink);
         let ws_adaptive = adaptive.weighted_speedup_vs(&stat);
         let ws_jumanji = jumanji.weighted_speedup_vs(&stat);
         assert!(
@@ -886,8 +879,8 @@ mod tests {
     #[test]
     fn determinism() {
         let exp = Experiment::new(case_study_mix(3), LcLoad::Low, quick_opts());
-        let a = exp.run(DesignKind::Adaptive);
-        let b = exp.run(DesignKind::Adaptive);
+        let a = exp.run(DesignKind::Adaptive, &NoopSink);
+        let b = exp.run(DesignKind::Adaptive, &NoopSink);
         assert_eq!(a.lc_tail_latency_ms, b.lc_tail_latency_ms);
         assert_eq!(a.batch_work, b.batch_work);
     }
@@ -896,13 +889,13 @@ mod tests {
     fn umon_profiling_reproduces_exact_profile_results() {
         // The full hardware feedback loop (sampled UMONs -> curves ->
         // placement) should land close to the ideal-curve results.
-        let exact =
-            Experiment::new(case_study_mix(4), LcLoad::High, quick_opts()).run(DesignKind::Jumanji);
+        let exact = Experiment::new(case_study_mix(4), LcLoad::High, quick_opts())
+            .run(DesignKind::Jumanji, &NoopSink);
         let mut opts = quick_opts();
         opts.umon_profiling = true;
         let exp = Experiment::new(case_study_mix(4), LcLoad::High, opts);
-        let stat = exp.run(DesignKind::Static);
-        let umon = exp.run(DesignKind::Jumanji);
+        let stat = exp.run(DesignKind::Static, &NoopSink);
+        let umon = exp.run(DesignKind::Jumanji, &NoopSink);
         assert_eq!(umon.vulnerability, 0.0, "isolation unaffected by profiling");
         assert!(
             umon.max_norm_tail() < 1.6,
@@ -929,15 +922,15 @@ mod tests {
             to_core: CoreId(13),
         }];
         let exp = Experiment::new(case_study_mix(1), LcLoad::High, opts);
-        let r = exp.run(DesignKind::Jumanji);
+        let r = exp.run(DesignKind::Jumanji, &NoopSink);
         // The run completes with deadlines still (roughly) met and
         // isolation intact despite the migration.
         assert_eq!(r.vulnerability, 0.0);
         assert!(r.max_norm_tail() < 2.0, "{:?}", r.norm_tails());
         // Migration forces data movement: the coherence refetch total must
         // exceed a migration-free run's.
-        let base =
-            Experiment::new(case_study_mix(1), LcLoad::High, quick_opts()).run(DesignKind::Jumanji);
+        let base = Experiment::new(case_study_mix(1), LcLoad::High, quick_opts())
+            .run(DesignKind::Jumanji, &NoopSink);
         assert!(
             r.coherence_refetches > base.coherence_refetches,
             "migration {} vs baseline {}",
@@ -951,7 +944,7 @@ mod tests {
         // The controller resizes LC allocations across intervals, so some
         // descriptor entries move and their lines must be refetched.
         let exp = Experiment::new(case_study_mix(2), LcLoad::High, quick_opts());
-        let r = exp.run(DesignKind::Jumanji);
+        let r = exp.run(DesignKind::Jumanji, &NoopSink);
         assert!(r.coherence_refetches.is_finite());
         assert!(
             r.coherence_refetches > 0.0,
@@ -966,9 +959,9 @@ mod tests {
     fn traced_run_matches_untraced_and_records_every_interval() {
         use jumanji_telemetry::RecordingSink;
         let exp = Experiment::new(case_study_mix(1), LcLoad::High, quick_opts());
-        let plain = exp.run(DesignKind::Jumanji);
+        let plain = exp.run(DesignKind::Jumanji, &NoopSink);
         let sink = RecordingSink::new();
-        let traced = exp.run_traced(DesignKind::Jumanji, &sink);
+        let traced = exp.run(DesignKind::Jumanji, &sink);
 
         // Tracing must not perturb the simulation.
         assert_eq!(plain.lc_tail_latency_ms, traced.lc_tail_latency_ms);
@@ -1040,7 +1033,7 @@ mod tests {
     #[test]
     fn timeline_is_complete() {
         let exp = Experiment::new(case_study_mix(1), LcLoad::High, quick_opts());
-        let r = exp.run(DesignKind::Adaptive);
+        let r = exp.run(DesignKind::Adaptive, &NoopSink);
         assert_eq!(r.timeline.len(), 15);
         for rec in &r.timeline {
             assert_eq!(rec.lc_alloc_bytes.len(), 4);

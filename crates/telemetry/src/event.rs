@@ -92,7 +92,9 @@ pub enum Event {
     /// when a suite or figure run finishes so traces record how much work
     /// deduplication saved.
     CacheStats {
-        /// Which cache the counters describe (e.g. `"runs"`, `"hulls"`).
+        /// Which cache the counters describe (`"runs"`, `"details"` —
+        /// the detailed-simulator cells — `"experiments"`, `"allocs"`,
+        /// `"hulls"`).
         scope: &'static str,
         /// Lookups served from an already-computed entry.
         hits: u64,
@@ -111,7 +113,8 @@ pub enum Event {
         misses: u64,
         /// Entries successfully written.
         writes: u64,
-        /// Cache files deleted (corruption evictions).
+        /// Cache files deleted (corruption drops plus size-cap
+        /// evictions).
         evictions: u64,
         /// Entries dropped for failing envelope or payload validation.
         corrupt_dropped: u64,

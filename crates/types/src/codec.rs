@@ -38,7 +38,11 @@ pub const MAGIC: u32 = 0x4A4E_4D4A;
 /// Bump this whenever any persisted payload layout changes; old files
 /// then fail [`decode_entry`] with [`CodecError::WrongVersion`] and are
 /// dropped and recomputed instead of being misread.
-pub const FORMAT_VERSION: u16 = 1;
+///
+/// Version history: 1 — initial layout (runs, allocs, model, costs);
+/// 2 — `MeasuredCosts` gained a detailed-simulator row and the store
+/// gained `details/` entries carrying [`DetailReport`]-shaped payloads.
+pub const FORMAT_VERSION: u16 = 2;
 
 /// Why a decode was rejected. Every variant means "drop this entry and
 /// recompute" — none is a caller bug.

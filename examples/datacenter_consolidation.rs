@@ -35,8 +35,8 @@ fn main() {
             pool.truncate(4);
             let mix = WorkloadMix::from_spec(&spec, &pool, seed);
             let exp = Experiment::new(mix, LcLoad::High, SimOptions::default());
-            let baseline = exp.run(DesignKind::Static);
-            let r = exp.run(DesignKind::Jumanji);
+            let baseline = exp.run(DesignKind::Static, &NoopSink);
+            let r = exp.run(DesignKind::Jumanji, &NoopSink);
             speedups.push(r.weighted_speedup_vs(&baseline));
             worst = worst.max(r.max_norm_tail());
             isolated &= r.vulnerability == 0.0;

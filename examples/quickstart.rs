@@ -19,7 +19,7 @@ fn main() {
         "design", "worst tail", "batch speedup", "attackers/access"
     );
 
-    let baseline = exp.run(DesignKind::Static);
+    let baseline = exp.run(DesignKind::Static, &NoopSink);
     for design in [
         DesignKind::Static,
         DesignKind::Adaptive,
@@ -30,7 +30,7 @@ fn main() {
         let r = if design == DesignKind::Static {
             baseline.clone()
         } else {
-            exp.run(design)
+            exp.run(design, &NoopSink)
         };
         let tail = r.max_norm_tail();
         // Allow a small margin over the isolation-measured deadline for

@@ -113,6 +113,36 @@ grep -Eq '\[suite\] sched: 0 runs computed, [1-9][0-9]* served from disk' \
     "$tmp/disk_warm.log"
 grep -Eq '\[suite\] disk cache: 0 hits' "$tmp/disk_cold.log"
 
+echo "== detailed cells: cold/warm/--no-cache suite runs are byte-identical"
+# Equal --accesses across both figures so validate's mix-0 cells dedup
+# against fig02's in the work graph.
+detail_figs=fig02,validate
+detail_acc=60000
+./target/release/suite --figures "$detail_figs" --mixes 2 --accesses "$detail_acc" \
+    --threads 4 --cache-dir "$tmp/dstore" --out "$tmp/detail_cold" \
+    2>"$tmp/detail_cold.log"
+./target/release/suite --figures "$detail_figs" --mixes 2 --accesses "$detail_acc" \
+    --threads 4 --cache-dir "$tmp/dstore" --out "$tmp/detail_warm" \
+    2>"$tmp/detail_warm.log"
+./target/release/suite --figures "$detail_figs" --mixes 2 --accesses "$detail_acc" \
+    --threads 4 --no-cache --out "$tmp/detail_nc" 2>/dev/null
+for f in fig02 validate; do
+    cmp "$tmp/detail_cold/$f.tsv" "$tmp/detail_warm/$f.tsv"
+    cmp "$tmp/detail_cold/$f.tsv" "$tmp/detail_nc/$f.tsv"
+done
+
+echo "== suite detailed figures match the standalone binaries"
+./target/release/fig02 --accesses "$detail_acc" >"$tmp/s02.tsv"
+./target/release/validate --mixes 2 --accesses "$detail_acc" >"$tmp/sval.tsv"
+cmp "$tmp/detail_cold/fig02.tsv" "$tmp/s02.tsv"
+cmp "$tmp/detail_cold/validate.tsv" "$tmp/sval.tsv"
+
+echo "== warm run serves every detail cell from disk, cold computes them"
+grep -Eq '\[suite\] sched: [1-9][0-9]* detail cells computed, 0 served from disk' \
+    "$tmp/detail_cold.log"
+grep -Eq '\[suite\] sched: 0 detail cells computed, [1-9][0-9]* served from disk' \
+    "$tmp/detail_warm.log"
+
 echo "== every figure binary runs at --mixes 1 (spec-wrapper smoke test)"
 for fig in fig02 fig04 fig05 fig08 fig09 fig11 fig12 fig13 fig14 fig15 \
            fig16 fig17 fig18 table2 table3 ablation sensitivity validate; do

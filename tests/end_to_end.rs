@@ -2,6 +2,7 @@
 //! full simulated experiments spanning every crate in the workspace.
 
 use jumanji::prelude::*;
+use jumanji::telemetry::NoopSink;
 use jumanji::types::Seconds;
 
 fn opts() -> SimOptions {
@@ -23,14 +24,14 @@ fn tail_aware_designs_meet_deadlines_jigsaw_does_not() {
         DesignKind::VmPart,
         DesignKind::Jumanji,
     ] {
-        let r = exp.run(design);
+        let r = exp.run(design, &NoopSink);
         assert!(
             r.max_norm_tail() < TAIL_SLACK,
             "{design} violated: {:?}",
             r.norm_tails()
         );
     }
-    let jigsaw = exp.run(DesignKind::Jigsaw);
+    let jigsaw = exp.run(DesignKind::Jigsaw, &NoopSink);
     assert!(
         jigsaw.max_norm_tail() > TAIL_SLACK,
         "jigsaw must violate: {:?}",
@@ -40,7 +41,7 @@ fn tail_aware_designs_meet_deadlines_jigsaw_does_not() {
     // batch co-runners are; mix 4 draws an aggressive mix where the
     // violation is massive (the paper reports up to 100x).
     let aggressive = Experiment::new(case_study_mix(4), LcLoad::High, opts());
-    let jigsaw = aggressive.run(DesignKind::Jigsaw);
+    let jigsaw = aggressive.run(DesignKind::Jigsaw, &NoopSink);
     assert!(
         jigsaw.max_norm_tail() > 2.0,
         "jigsaw must violate massively on an aggressive mix: {:?}",
@@ -52,8 +53,8 @@ fn tail_aware_designs_meet_deadlines_jigsaw_does_not() {
 fn speedup_ordering_matches_the_paper() {
     // Jigsaw >= Jumanji >> Adaptive ~ Static; D-NUCAs clearly positive.
     let exp = Experiment::new(case_study_mix(1), LcLoad::High, opts());
-    let stat = exp.run(DesignKind::Static);
-    let speedup = |d: DesignKind| exp.run(d).weighted_speedup_vs(&stat);
+    let stat = exp.run(DesignKind::Static, &NoopSink);
+    let speedup = |d: DesignKind| exp.run(d, &NoopSink).weighted_speedup_vs(&stat);
     let adaptive = speedup(DesignKind::Adaptive);
     let jigsaw = speedup(DesignKind::Jigsaw);
     let jumanji = speedup(DesignKind::Jumanji);
@@ -70,13 +71,15 @@ fn speedup_ordering_matches_the_paper() {
 fn jumanji_is_near_insecure_and_ideal_batch() {
     // Fig. 16: bank isolation costs little; greedy placement is near-ideal.
     let exp = Experiment::new(case_study_mix(2), LcLoad::High, opts());
-    let stat = exp.run(DesignKind::Static);
-    let jumanji = exp.run(DesignKind::Jumanji).weighted_speedup_vs(&stat);
+    let stat = exp.run(DesignKind::Static, &NoopSink);
+    let jumanji = exp
+        .run(DesignKind::Jumanji, &NoopSink)
+        .weighted_speedup_vs(&stat);
     let insecure = exp
-        .run(DesignKind::JumanjiInsecure)
+        .run(DesignKind::JumanjiInsecure, &NoopSink)
         .weighted_speedup_vs(&stat);
     let ideal = exp
-        .run(DesignKind::JumanjiIdealBatch)
+        .run(DesignKind::JumanjiIdealBatch, &NoopSink)
         .weighted_speedup_vs(&stat);
     assert!(
         insecure - jumanji < 0.03,
@@ -88,10 +91,10 @@ fn jumanji_is_near_insecure_and_ideal_batch() {
 #[test]
 fn vulnerability_matches_fig14() {
     let exp = Experiment::new(case_study_mix(3), LcLoad::High, opts());
-    let adaptive = exp.run(DesignKind::Adaptive);
-    let vmpart = exp.run(DesignKind::VmPart);
-    let jigsaw = exp.run(DesignKind::Jigsaw);
-    let jumanji = exp.run(DesignKind::Jumanji);
+    let adaptive = exp.run(DesignKind::Adaptive, &NoopSink);
+    let vmpart = exp.run(DesignKind::VmPart, &NoopSink);
+    let jigsaw = exp.run(DesignKind::Jigsaw, &NoopSink);
+    let jumanji = exp.run(DesignKind::Jumanji, &NoopSink);
     assert!((adaptive.vulnerability - 15.0).abs() < 0.2);
     assert!((vmpart.vulnerability - 15.0).abs() < 0.2);
     assert!(jigsaw.vulnerability > 0.0 && jigsaw.vulnerability < 5.0);
@@ -102,13 +105,22 @@ fn vulnerability_matches_fig14() {
 fn energy_dnuca_saves_vs_static() {
     // Fig. 15 shape: D-NUCAs clearly below Static; VM-Part does not save.
     let exp = Experiment::new(case_study_mix(4), LcLoad::High, opts());
-    let stat = exp.run(DesignKind::Static).energy_per_instruction().total();
-    let jumanji = exp
-        .run(DesignKind::Jumanji)
+    let stat = exp
+        .run(DesignKind::Static, &NoopSink)
         .energy_per_instruction()
         .total();
-    let jigsaw = exp.run(DesignKind::Jigsaw).energy_per_instruction().total();
-    let vmpart = exp.run(DesignKind::VmPart).energy_per_instruction().total();
+    let jumanji = exp
+        .run(DesignKind::Jumanji, &NoopSink)
+        .energy_per_instruction()
+        .total();
+    let jigsaw = exp
+        .run(DesignKind::Jigsaw, &NoopSink)
+        .energy_per_instruction()
+        .total();
+    let vmpart = exp
+        .run(DesignKind::VmPart, &NoopSink)
+        .energy_per_instruction()
+        .total();
     assert!(jumanji < 0.97 * stat, "jumanji {jumanji} vs static {stat}");
     assert!(jigsaw < 0.97 * stat, "jigsaw {jigsaw} vs static {stat}");
     assert!(
@@ -121,7 +133,7 @@ fn energy_dnuca_saves_vs_static() {
 fn low_load_keeps_deadlines_for_tail_aware_designs() {
     let exp = Experiment::new(case_study_mix(5), LcLoad::Low, opts());
     for design in [DesignKind::Adaptive, DesignKind::Jumanji] {
-        let r = exp.run(design);
+        let r = exp.run(design, &NoopSink);
         assert!(
             r.max_norm_tail() < TAIL_SLACK,
             "{design} at low load: {:?}",
@@ -133,8 +145,8 @@ fn low_load_keeps_deadlines_for_tail_aware_designs() {
 #[test]
 fn mixed_lc_experiment_works_end_to_end() {
     let exp = Experiment::new(WorkloadMix::mixed_lc(7), LcLoad::High, opts());
-    let stat = exp.run(DesignKind::Static);
-    let r = exp.run(DesignKind::Jumanji);
+    let stat = exp.run(DesignKind::Static, &NoopSink);
+    let r = exp.run(DesignKind::Jumanji, &NoopSink);
     assert_eq!(r.lc_names.len(), 4);
     assert!(r.max_norm_tail() < TAIL_SLACK, "{:?}", r.norm_tails());
     assert!(r.weighted_speedup_vs(&stat) > 1.03);
@@ -147,7 +159,7 @@ fn twelve_vm_grouping_runs_and_isolates() {
     let spec = fig17_configs().last().expect("configs exist").1.clone();
     let mix = WorkloadMix::from_spec(&spec, &tailbench()[..4], 9);
     let exp = Experiment::new(mix, LcLoad::High, opts());
-    let r = exp.run(DesignKind::Jumanji);
+    let r = exp.run(DesignKind::Jumanji, &NoopSink);
     assert_eq!(r.vulnerability, 0.0, "12 VMs still bank-isolated");
     assert!(r.max_norm_tail() < 2.0, "{:?}", r.norm_tails());
 }
@@ -156,7 +168,7 @@ fn twelve_vm_grouping_runs_and_isolates() {
 fn experiments_are_deterministic() {
     let run = || {
         let exp = Experiment::new(case_study_mix(6), LcLoad::High, opts());
-        let r = exp.run(DesignKind::Jumanji);
+        let r = exp.run(DesignKind::Jumanji, &NoopSink);
         (r.lc_tail_latency_ms.clone(), r.batch_work.clone())
     };
     assert_eq!(run(), run());

@@ -18,6 +18,7 @@ use jumanji::core::{AppKind, DesignKind, PlacementInput};
 use jumanji::prelude::*;
 use jumanji::sim::detail::{run_detailed, DetailOptions, DetailReport};
 use jumanji::sim::perf::Profile;
+use jumanji::telemetry::NoopSink;
 use jumanji::types::{CoreId, VmId};
 use jumanji::workloads::LcLoad;
 use std::fmt::Write as _;
@@ -74,7 +75,14 @@ fn run(design: DesignKind) -> DetailReport {
         seed: 0xD5,
         ..DetailOptions::default()
     };
-    run_detailed(&opts, &profiles, &cores, &vms, &design.allocate(&input))
+    run_detailed(
+        &opts,
+        &profiles,
+        &cores,
+        &vms,
+        &design.allocate(&input),
+        &NoopSink,
+    )
 }
 
 fn fixture_path(name: &str) -> PathBuf {
