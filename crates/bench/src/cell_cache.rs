@@ -209,6 +209,7 @@ impl CellCache {
     ///
     /// Honours `JUMANJI_NO_CACHE` at first use: any value other than empty
     /// or `0` starts the cache disabled.
+    #[allow(clippy::disallowed_methods)] // env read carries a lint.toml [[allow]]
     pub fn global() -> &'static CellCache {
         static GLOBAL: OnceLock<CellCache> = OnceLock::new();
         GLOBAL.get_or_init(|| {
@@ -510,6 +511,7 @@ pub fn apply_cache_flags(args: &[String]) {
 /// The persistent-store directory requested by `args` or the
 /// environment: `--cache-dir DIR` / `--cache-dir=DIR` beats
 /// `JUMANJI_CACHE_DIR`; an empty value means "no store".
+#[allow(clippy::disallowed_methods)] // env read carries a lint.toml [[allow]]
 pub fn cache_dir_from(args: &[String]) -> Option<String> {
     crate::exec::flag_value(args, "--cache-dir")
         .or_else(|| std::env::var("JUMANJI_CACHE_DIR").ok())
@@ -520,6 +522,7 @@ pub fn cache_dir_from(args: &[String]) -> Option<String> {
 /// `--cache-cap-bytes N` / `--cache-cap-bytes=N` beats
 /// `JUMANJI_CACHE_CAP`; an unparsable or zero value means "unbounded"
 /// (lenient, like every other env-sourced knob).
+#[allow(clippy::disallowed_methods)] // env read carries a lint.toml [[allow]]
 pub fn cache_cap_from(args: &[String]) -> Option<u64> {
     crate::exec::flag_value(args, "--cache-cap-bytes")
         .or_else(|| std::env::var("JUMANJI_CACHE_CAP").ok())

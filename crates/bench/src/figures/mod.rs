@@ -129,6 +129,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::disallowed_methods)] // opt-in smoke sweep reads its own gate
     fn every_figure_renders_at_mixes_1_when_enabled() {
         if std::env::var_os("JUMANJI_SMOKE_ALL").is_none() {
             eprintln!("set JUMANJI_SMOKE_ALL=1 to sweep all 18 figures");

@@ -163,6 +163,8 @@ struct Row {
     jigsaw_tail: f64,
 }
 
+// lint:allow(plan-bypass): the mix/opts arrive as parameters — every caller
+// builds them via sensitivity_jobs(), the shared plan helper for this sweep.
 fn sensitivity_run_one(
     mix: WorkloadMix,
     opts: SimOptions,

@@ -35,6 +35,10 @@
 //! run_spec(&spec).expect("figure renders");
 //! ```
 
+// spec.rs IS the centralized JUMANJI_* config surface (lint.toml
+// [paths].env_allow), so the env-read ban does not apply here.
+#![allow(clippy::disallowed_methods)]
+
 use crate::figures;
 use jumanji::prelude::*;
 use jumanji::types::Error;

@@ -35,6 +35,11 @@
 //! [`CellCache`]: crate::cell_cache::CellCache
 //! [`exec::sched`]: crate::exec::sched
 
+// Wall-clock here feeds the suite's *stats* section only (lint.toml
+// [paths].timing_allow), and every map is Mix64Build-hashed — clippy
+// cannot see hasher parameters, jumanji-lint checks them precisely.
+#![allow(clippy::disallowed_methods, clippy::disallowed_types)]
+
 use crate::cell_cache::{run_key, CellCache, ExperimentHandle, RunSource};
 use crate::disk_cache::MeasuredCosts;
 use crate::exec::sched::{self, Graph, GraphReport};
@@ -42,6 +47,7 @@ use crate::figures::{self, plan};
 use crate::spec::{ExperimentSpec, FigureKind};
 use jumanji::prelude::*;
 use jumanji::telemetry::NoopSink;
+use jumanji::types::hash::Mix64Build;
 use jumanji::types::Error;
 use jumanji::workloads::WorkloadMix;
 use std::collections::HashMap;
@@ -162,9 +168,9 @@ fn union_plans(plans: &[plan::FigurePlan], model: &plan::CostModel) -> Union {
         planned_runs: 0,
         planned_details: 0,
     };
-    let mut exp_ids: HashMap<u128, u32> = HashMap::new();
-    let mut run_ids: HashMap<u128, u32> = HashMap::new();
-    let mut detail_ids: HashMap<u128, u32> = HashMap::new();
+    let mut exp_ids: HashMap<u128, u32, Mix64Build> = HashMap::default();
+    let mut run_ids: HashMap<u128, u32, Mix64Build> = HashMap::default();
+    let mut detail_ids: HashMap<u128, u32, Mix64Build> = HashMap::default();
     for (f, plan) in plans.iter().enumerate() {
         let f32u = f as u32;
         for cell in &plan.cells {

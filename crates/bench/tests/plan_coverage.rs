@@ -15,6 +15,9 @@
 //! figures always run; the full-matrix figures (13–16, sensitivity) are
 //! gated behind `JUMANJI_SUITE_GOLDEN=1` — `scripts/verify.sh` sets it.
 
+// Test gates read their own opt-in env switches; never fingerprinted output.
+#![allow(clippy::disallowed_methods)]
+
 use jumanji::telemetry::NoopSink;
 use jumanji_bench::cell_cache::CellCache;
 use jumanji_bench::suite::run_suite;

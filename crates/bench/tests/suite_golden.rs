@@ -12,6 +12,9 @@
 //!
 //! [`CellCache`]: jumanji_bench::cell_cache::CellCache
 
+// Test gates read their own opt-in env switches; never fingerprinted output.
+#![allow(clippy::disallowed_methods)]
+
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
 

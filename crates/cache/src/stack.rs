@@ -6,6 +6,10 @@
 //! the paper measures LRU curves precisely because DRRIP's curve can then be
 //! approximated by their convex hull (Talus, Sec. IV-A).
 
+// The reuse-distance index is Mix64Build-hashed; clippy's type ban
+// cannot see hasher parameters — jumanji-lint checks them precisely.
+#![allow(clippy::disallowed_types)]
+
 use crate::{LineAddr, MissCurve};
 use nuca_types::hash::Mix64Build;
 use std::collections::HashMap;

@@ -1,5 +1,8 @@
 //! Property-based tests of the cache structures' core invariants.
 
+// Test-only scratch maps; iteration order is never observed.
+#![allow(clippy::disallowed_types)]
+
 use nuca_cache::{
     analytic::{assoc_penalty, shared_occupancy},
     BankConfig, CacheBank, MissCurve, PartitionId, ReplPolicy, StackProfiler, WayMask,

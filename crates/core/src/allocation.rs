@@ -1,6 +1,12 @@
 //! The output of a placement algorithm: who gets how much space, where.
 
+// Every HashSet in this module is Mix64Build-hashed, and occupant sets
+// are sorted before they escape; clippy's type ban cannot see hasher
+// parameters — jumanji-lint checks them precisely.
+#![allow(clippy::disallowed_types)]
+
 use crate::model::PlacementInput;
+use nuca_types::hash::Mix64Build;
 use nuca_types::{AppId, BankId, ConfigError, SystemConfig};
 use std::collections::HashSet;
 
@@ -108,7 +114,7 @@ impl Allocation {
 
     /// All apps occupying any space in `bank` (partitioned or pooled).
     pub fn occupants(&self, bank: BankId) -> Vec<AppId> {
-        let mut out = HashSet::new();
+        let mut out: HashSet<AppId, Mix64Build> = HashSet::default();
         for a in &self.apps {
             if a.placement
                 .iter()
@@ -136,7 +142,7 @@ impl Allocation {
     /// vulnerability sum visits every bank of every app's placement — use
     /// this to avoid quadratic rescanning.
     pub fn occupants_by_bank(&self, num_banks: usize) -> Vec<Vec<AppId>> {
-        let mut sets: Vec<HashSet<AppId>> = vec![HashSet::new(); num_banks];
+        let mut sets: Vec<HashSet<AppId, Mix64Build>> = vec![HashSet::default(); num_banks];
         for a in &self.apps {
             for &(b, bytes) in &a.placement {
                 if bytes > 0.0 && b.index() < num_banks {
@@ -173,7 +179,8 @@ impl Allocation {
     pub fn vm_isolated(&self, input: &PlacementInput) -> bool {
         for bank in input.banks() {
             let occ = self.occupants(bank);
-            let vms: HashSet<_> = occ.iter().map(|a| input.apps[a.index()].vm).collect();
+            let vms: HashSet<_, Mix64Build> =
+                occ.iter().map(|a| input.apps[a.index()].vm).collect();
             if vms.len() > 1 {
                 return false;
             }

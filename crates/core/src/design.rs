@@ -280,6 +280,7 @@ fn jigsaw_allocate(input: &PlacementInput) -> Allocation {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_types)] // test-only scratch sets; order never observed
 mod tests {
     use super::*;
     use nuca_types::{AppId, SystemConfig};

@@ -352,6 +352,7 @@ fn assign_banks(
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_types)] // test-only scratch sets; order never observed
 mod tests {
     use super::*;
     use nuca_types::SystemConfig;

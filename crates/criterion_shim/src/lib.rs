@@ -10,6 +10,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// A bench harness measures wall-clock by definition, and the
+// JUMANJI_BENCH_SMOKE switch is its own self-contained knob; both carry
+// lint.toml allowances — mirrored here for clippy.
+#![allow(clippy::disallowed_methods)]
 
 use std::time::{Duration, Instant};
 

@@ -1,0 +1,5 @@
+// Fixture: malformed allow markers (not compiled; linted by --self-test).
+// lint:allow(wall-clock)
+// lint:allow(nonesuch): believable reason
+// lint:allow(env-var):
+pub fn f() {}

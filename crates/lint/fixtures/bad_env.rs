@@ -1,0 +1,8 @@
+// Fixture: env-var violation outside the config surface (not compiled).
+pub fn knob() -> Option<String> {
+    std::env::var("JUMANJI_THREADS").ok()
+}
+
+pub fn benign() -> Option<String> {
+    std::env::var("PATH").ok()
+}

@@ -1,0 +1,10 @@
+// Fixture: default-hasher violations (not compiled; linted by --self-test).
+use std::collections::{HashMap, HashSet};
+
+pub fn build() {
+    let a = HashMap::new();
+    let b: HashMap<u32, String> = HashMap::with_capacity(8);
+    let c: HashSet<u64> = HashSet::from([1, 2]);
+    let ok: HashMap<u32, u32, Mix64Build> = HashMap::default();
+    let _ = (a, b, c, ok);
+}

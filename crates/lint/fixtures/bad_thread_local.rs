@@ -1,0 +1,4 @@
+// Fixture: thread-local violation (not compiled; linted by --self-test).
+thread_local! {
+    static MEMO: std::cell::RefCell<Vec<u64>> = std::cell::RefCell::new(Vec::new());
+}

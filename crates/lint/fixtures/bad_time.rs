@@ -1,0 +1,9 @@
+// Fixture: wall-clock violations (not compiled; linted by --self-test).
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u64 {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    let _ = (t0, wall);
+    0
+}

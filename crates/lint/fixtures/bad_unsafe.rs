@@ -1,0 +1,9 @@
+// Fixture: unsafe without a SAFETY comment (not compiled).
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}
+
+// SAFETY: index 0 is checked by the caller.
+pub fn peek_ok(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

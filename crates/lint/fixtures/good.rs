@@ -1,0 +1,24 @@
+// Fixture: clean file — nothing in here may be flagged (not compiled).
+use nuca_types::hash::Mix64Build;
+
+pub fn clean() {
+    let m: HashMap<u64, u64, Mix64Build> = HashMap::default();
+    let names = "HashMap::new() and Instant::now() inside a string";
+    let _ = (m, names);
+    // A comment mentioning SystemTime::now() is fine too.
+}
+
+pub fn allowed() -> u64 {
+    // lint:allow(wall-clock): fixture demonstrating a justified inline allow.
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_maps_are_fine_in_tests() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1, 2);
+    }
+}

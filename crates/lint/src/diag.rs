@@ -1,0 +1,115 @@
+//! Diagnostics: rustc-style text rendering and a `--format json`
+//! machine encoding (hand-rolled; the workspace has no serde).
+
+use std::fmt::Write as _;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Repo-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// Rule id (stable, kebab-case — the `lint:allow` key).
+    pub rule: &'static str,
+    /// What is wrong.
+    pub message: String,
+    /// The fix-it hint.
+    pub help: String,
+}
+
+impl Diagnostic {
+    /// `file:line:col` prefix shared by both formats.
+    pub fn location(&self) -> String {
+        format!("{}:{}:{}", self.path, self.line, self.col)
+    }
+
+    /// Rustc-style two-line rendering.
+    pub fn render_text(&self) -> String {
+        format!(
+            "{}: error[{}]: {}\n  help: {}",
+            self.location(),
+            self.rule,
+            self.message,
+            self.help
+        )
+    }
+}
+
+/// Escapes `s` for a JSON string body.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders all diagnostics as a JSON array (one object per finding),
+/// stable field order, for tooling.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n  {{\"path\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\
+             \"message\":\"{}\",\"help\":\"{}\"}}",
+            json_escape(&d.path),
+            d.line,
+            d.col,
+            d.rule,
+            json_escape(&d.message),
+            json_escape(&d.help)
+        );
+    }
+    out.push_str(if diags.is_empty() { "]" } else { "\n]" });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            path: "crates/x/src/lib.rs".into(),
+            line: 3,
+            col: 9,
+            rule: "wall-clock",
+            message: "Instant::now() outside the timing allowlist".into(),
+            help: "thread wall-clock in from the caller".into(),
+        }
+    }
+
+    #[test]
+    fn text_rendering_is_rustc_style() {
+        let t = diag().render_text();
+        assert!(t.starts_with("crates/x/src/lib.rs:3:9: error[wall-clock]: "));
+        assert!(t.contains("\n  help: "));
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_lists() {
+        let mut d = diag();
+        d.message = "quote \" and\nnewline".into();
+        let j = render_json(&[d]);
+        assert!(j.contains("\"message\":\"quote \\\" and\\nnewline\""));
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert_eq!(render_json(&[]), "[]");
+    }
+}

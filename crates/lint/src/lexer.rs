@@ -1,0 +1,481 @@
+//! A hand-rolled, literal- and comment-aware Rust tokenizer.
+//!
+//! The lint's rules are lexical: they look for identifier patterns like
+//! `HashMap::new` or `Instant :: now` that must *not* match inside
+//! string literals, char literals, or comments (`"HashMap::new()"` in a
+//! test assertion is not a violation). A full parser (`syn`) would be
+//! overkill and would break the workspace's vendored-shim policy, so
+//! this module implements just enough of the Rust lexical grammar to
+//! classify every byte of a source file:
+//!
+//! - line comments and *nested* block comments,
+//! - string likes: `"…"`, raw strings `r"…"`/`r#"…"#` at any hash
+//!   depth, byte strings `b"…"`/`br#"…"#`, and C strings `c"…"`,
+//! - char and byte-char literals (`'x'`, `'\''`, `b'\xFF'`) vs.
+//!   lifetimes (`'a`, `'static`, `'_`),
+//! - raw identifiers (`r#type`), numbers (including `1.5e-3`, `0xFF`,
+//!   and `1..2` — the range dots are *not* part of the number), and
+//!   single-character punctuation.
+//!
+//! Tokens carry byte spans and 1-based line/column positions; the bytes
+//! between consecutive tokens are always pure whitespace, so the token
+//! stream is a lossless partition of the input (the lexer proptests pin
+//! this round-trip).
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw identifiers).
+    Ident,
+    /// A numeric literal.
+    Number,
+    /// Any string-like literal (plain, raw, byte, C).
+    Str,
+    /// A char or byte-char literal.
+    Char,
+    /// A lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// A `// …` comment (terminating newline excluded).
+    LineComment,
+    /// A `/* … */` comment, nesting respected.
+    BlockComment,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One lexed token: kind plus its byte span and source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+    /// 1-based byte column of `start` within its line.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the source it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Is `c` an identifier start? (ASCII-only: the workspace is ASCII.)
+fn ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+/// Is `c` an identifier continuation?
+fn ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, tracking line/column.
+    fn bump(&mut self) {
+        if self.src[self.pos] == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.pos < self.src.len() {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consumes a `"…"` body (opening quote already consumed),
+    /// honouring `\` escapes. Unterminated strings run to EOF.
+    fn eat_quoted(&mut self) {
+        while let Some(c) = self.peek(0) {
+            match c {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes a raw-string body: `"…"` terminated by `"` followed by
+    /// `hashes` `#` characters (opening `"` already consumed). No
+    /// escapes exist in raw strings.
+    fn eat_raw(&mut self, hashes: usize) {
+        while let Some(c) = self.peek(0) {
+            self.bump();
+            if c == b'"' && (0..hashes).all(|i| self.peek(i) == Some(b'#')) {
+                self.bump_n(hashes);
+                return;
+            }
+        }
+    }
+
+    /// Consumes a char-literal body (opening `'` already consumed).
+    fn eat_char_lit(&mut self) {
+        match self.peek(0) {
+            Some(b'\\') => {
+                self.bump_n(2);
+                // Multi-char escapes: \x41, \u{1F600}.
+                while let Some(c) = self.peek(0) {
+                    if c == b'\'' {
+                        self.bump();
+                        return;
+                    }
+                    if c == b'\n' {
+                        return; // malformed; don't swallow the file
+                    }
+                    self.bump();
+                }
+            }
+            Some(_) => {
+                // One (possibly multi-byte) character, then the quote.
+                self.bump();
+                while let Some(c) = self.peek(0) {
+                    if c == b'\'' {
+                        self.bump();
+                        return;
+                    }
+                    if c.is_ascii() {
+                        return; // malformed
+                    }
+                    self.bump(); // UTF-8 continuation bytes
+                }
+            }
+            None => {}
+        }
+    }
+
+    /// Consumes a number starting at the current digit. Range dots
+    /// (`1..4`) and method calls (`1.max(2)`) are left out; embedded
+    /// dots followed by a digit (`1.5`) and exponent signs (`1e-3`)
+    /// are kept.
+    fn eat_number(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if ident_cont(c) {
+                let prev = self.src[self.pos];
+                self.bump();
+                // Exponent sign: `1e-3` / `2.5E+7` (decimal only; a
+                // hex literal's `e` is a digit, but hex has no `+`/`-`
+                // continuation worth chasing).
+                if (prev == b'e' || prev == b'E')
+                    && matches!(self.peek(0), Some(b'+') | Some(b'-'))
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    self.bump();
+                }
+            } else if c == b'.'
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                && self.peek(1) != Some(b'.')
+            {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Consumes an identifier run and returns its byte length.
+    fn eat_ident(&mut self) {
+        while self.peek(0).is_some_and(ident_cont) {
+            self.bump();
+        }
+    }
+}
+
+/// How many `#` characters follow `"ahead"` bytes from the cursor.
+fn count_hashes(lx: &Lexer, ahead: usize) -> usize {
+    let mut n = 0;
+    while lx.peek(ahead + n) == Some(b'#') {
+        n += 1;
+    }
+    n
+}
+
+/// Tokenizes `src`. Never fails: malformed input degrades to punct
+/// tokens rather than a panic, so the lint can run over any file the
+/// compiler has not seen yet.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = lx.peek(0) {
+        if c.is_ascii_whitespace() {
+            lx.bump();
+            continue;
+        }
+        let (start, line, col) = (lx.pos, lx.line, lx.col);
+        let kind = match c {
+            b'/' if lx.peek(1) == Some(b'/') => {
+                while lx.peek(0).is_some_and(|c| c != b'\n') {
+                    lx.bump();
+                }
+                TokenKind::LineComment
+            }
+            b'/' if lx.peek(1) == Some(b'*') => {
+                lx.bump_n(2);
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (lx.peek(0), lx.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            lx.bump_n(2);
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            lx.bump_n(2);
+                        }
+                        (Some(_), _) => lx.bump(),
+                        (None, _) => break,
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            b'"' => {
+                lx.bump();
+                lx.eat_quoted();
+                TokenKind::Str
+            }
+            b'\'' => {
+                // Lifetime iff an identifier follows and the char after
+                // it is not a closing quote (`'a` vs `'a'`).
+                let is_lifetime = lx.peek(1).is_some_and(ident_start) && {
+                    let mut k = 2;
+                    while lx.peek(k).is_some_and(ident_cont) {
+                        k += 1;
+                    }
+                    lx.peek(k) != Some(b'\'')
+                };
+                lx.bump();
+                if is_lifetime {
+                    lx.eat_ident();
+                    TokenKind::Lifetime
+                } else {
+                    lx.eat_char_lit();
+                    TokenKind::Char
+                }
+            }
+            c if ident_start(c) => {
+                // Literal prefixes and raw identifiers first.
+                let two = (c, lx.peek(1));
+                match two {
+                    // r"…" / r#"…"# / r#ident
+                    (b'r', Some(b'"')) => {
+                        lx.bump_n(2);
+                        lx.eat_raw(0);
+                        TokenKind::Str
+                    }
+                    (b'r', Some(b'#')) => {
+                        let hashes = count_hashes(&lx, 1);
+                        if lx.peek(1 + hashes) == Some(b'"') {
+                            lx.bump_n(2 + hashes);
+                            lx.eat_raw(hashes);
+                            TokenKind::Str
+                        } else {
+                            // Raw identifier r#type.
+                            lx.bump_n(2);
+                            lx.eat_ident();
+                            TokenKind::Ident
+                        }
+                    }
+                    // b"…" / b'…' / br#"…"#
+                    (b'b', Some(b'"')) => {
+                        lx.bump_n(2);
+                        lx.eat_quoted();
+                        TokenKind::Str
+                    }
+                    (b'b', Some(b'\'')) => {
+                        lx.bump_n(2);
+                        lx.eat_char_lit();
+                        TokenKind::Char
+                    }
+                    (b'b', Some(b'r')) if matches!(lx.peek(2), Some(b'"') | Some(b'#')) => {
+                        let hashes = count_hashes(&lx, 2);
+                        if lx.peek(2 + hashes) == Some(b'"') {
+                            lx.bump_n(3 + hashes);
+                            lx.eat_raw(hashes);
+                            TokenKind::Str
+                        } else {
+                            lx.eat_ident();
+                            TokenKind::Ident
+                        }
+                    }
+                    // c"…" / cr#"…"#
+                    (b'c', Some(b'"')) => {
+                        lx.bump_n(2);
+                        lx.eat_quoted();
+                        TokenKind::Str
+                    }
+                    (b'c', Some(b'r')) if matches!(lx.peek(2), Some(b'"') | Some(b'#')) => {
+                        let hashes = count_hashes(&lx, 2);
+                        if lx.peek(2 + hashes) == Some(b'"') {
+                            lx.bump_n(3 + hashes);
+                            lx.eat_raw(hashes);
+                            TokenKind::Str
+                        } else {
+                            lx.eat_ident();
+                            TokenKind::Ident
+                        }
+                    }
+                    _ => {
+                        lx.eat_ident();
+                        TokenKind::Ident
+                    }
+                }
+            }
+            c if c.is_ascii_digit() => {
+                lx.eat_number();
+                TokenKind::Number
+            }
+            _ => {
+                lx.bump();
+                TokenKind::Punct
+            }
+        };
+        out.push(Token {
+            kind,
+            start,
+            end: lx.pos,
+            line,
+            col,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        let ks = kinds("let x2 = 1.5e-3 + 0xFF;");
+        assert_eq!(ks[0], (TokenKind::Ident, "let".into()));
+        assert_eq!(ks[1], (TokenKind::Ident, "x2".into()));
+        assert_eq!(ks[3], (TokenKind::Number, "1.5e-3".into()));
+        assert_eq!(ks[5], (TokenKind::Number, "0xFF".into()));
+    }
+
+    #[test]
+    fn range_dots_are_not_number_parts() {
+        let ks = kinds("0..10");
+        assert_eq!(ks[0], (TokenKind::Number, "0".into()));
+        assert_eq!(ks[1], (TokenKind::Punct, ".".into()));
+        assert_eq!(ks[2], (TokenKind::Punct, ".".into()));
+        assert_eq!(ks[3], (TokenKind::Number, "10".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r#"let s = "HashMap::new() // not code"; x"#;
+        let ks = kinds(src);
+        assert_eq!(ks[3].0, TokenKind::Str);
+        assert_eq!(ks[5], (TokenKind::Ident, "x".into()));
+        assert_eq!(ks.len(), 6);
+    }
+
+    #[test]
+    fn raw_strings_at_depth() {
+        let src = r##"r#"a "quoted" b"# tail"##;
+        let ks = kinds(src);
+        assert_eq!(ks[0].0, TokenKind::Str);
+        assert_eq!(ks[1], (TokenKind::Ident, "tail".into()));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let ks = kinds("r#type x");
+        assert_eq!(ks[0], (TokenKind::Ident, "r#type".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let ks = kinds("&'a str; 'x'; '\\''; '\\u{1F600}'; &'static u8");
+        assert_eq!(ks[1], (TokenKind::Lifetime, "'a".into()));
+        assert_eq!(ks[4], (TokenKind::Char, "'x'".into()));
+        assert_eq!(ks[6], (TokenKind::Char, "'\\''".into()));
+        assert_eq!(ks[8], (TokenKind::Char, "'\\u{1F600}'".into()));
+        assert_eq!(ks[11], (TokenKind::Lifetime, "'static".into()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ks = kinds("a /* x /* y */ z */ b");
+        assert_eq!(ks[0], (TokenKind::Ident, "a".into()));
+        assert_eq!(ks[1].0, TokenKind::BlockComment);
+        assert_eq!(ks[2], (TokenKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn line_comments_stop_at_newline() {
+        let src = "x // trailing HashMap::new()\ny";
+        let ks = kinds(src);
+        assert_eq!(ks[1].0, TokenKind::LineComment);
+        assert_eq!(ks[2], (TokenKind::Ident, "y".into()));
+        assert_eq!(lex(src)[2].line, 2);
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let ks = kinds(r#"b"bytes" b'\xFF' c"cstr" br"raw" x"#);
+        assert_eq!(ks[0].0, TokenKind::Str);
+        assert_eq!(ks[1].0, TokenKind::Char);
+        assert_eq!(ks[2].0, TokenKind::Str);
+        assert_eq!(ks[3].0, TokenKind::Str);
+        assert_eq!(ks[4], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn positions_are_one_based_and_tracked() {
+        let src = "ab\n  cd";
+        let ts = lex(src);
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn tokens_partition_the_input() {
+        let src = "fn main() { let s = \"a /* not a comment */\"; } // done";
+        let ts = lex(src);
+        let mut pos = 0;
+        for t in &ts {
+            assert!(src[pos..t.start].bytes().all(|b| b.is_ascii_whitespace()));
+            pos = t.end;
+        }
+        assert!(src[pos..].bytes().all(|b| b.is_ascii_whitespace()));
+    }
+}

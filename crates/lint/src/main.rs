@@ -1,0 +1,128 @@
+//! The `jumanji-lint` binary.
+//!
+//! ```text
+//! jumanji-lint [--root DIR] [--config FILE] [--format text|json]
+//! jumanji-lint --self-test [--root DIR]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings (or self-test mismatch), `2`
+//! usage/config error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use jumanji_lint::config::LintConfig;
+use jumanji_lint::diag::render_json;
+use jumanji_lint::runner;
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: bool,
+    self_test: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: jumanji-lint [--root DIR] [--config FILE] [--format text|json] [--self-test]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        json: false,
+        self_test: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a value")?);
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config needs a value")?));
+            }
+            "--format" => match it.next().as_deref() {
+                Some("text") => args.json = false,
+                Some("json") => args.json = true,
+                _ => return Err("--format takes `text` or `json`".to_string()),
+            },
+            "--self-test" => args.self_test = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.self_test {
+        return match runner::self_test(&args.root) {
+            Ok(n) => {
+                eprintln!("jumanji-lint: self-test OK ({n} seeded violations all detected)");
+                ExitCode::SUCCESS
+            }
+            Err(report) => {
+                eprint!("{report}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint.toml"));
+    let cfg = if config_path.is_file() {
+        match LintConfig::load(&config_path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("jumanji-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else if args.config.is_some() {
+        eprintln!("jumanji-lint: {}: not found", config_path.display());
+        return ExitCode::from(2);
+    } else {
+        LintConfig::default()
+    };
+
+    match runner::run(&args.root, &cfg) {
+        Ok(outcome) => {
+            if args.json {
+                println!("{}", render_json(&outcome.diags));
+            } else {
+                for d in &outcome.diags {
+                    println!("{}", d.render_text());
+                }
+            }
+            let unsafe_total: u64 = outcome.unsafe_counts.values().sum();
+            eprintln!(
+                "jumanji-lint: {} files, {} finding(s), {} unsafe site(s)",
+                outcome.files,
+                outcome.diags.len(),
+                unsafe_total
+            );
+            if outcome.diags.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("jumanji-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -125,6 +125,7 @@ impl std::hash::Hasher for Mix64Hasher {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_types)] // test-only scratch sets; order never observed
 mod tests {
     use super::*;
     use std::collections::HashSet;

@@ -100,6 +100,7 @@ impl fmt::Display for WayCount {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_types)] // test-only scratch sets; order never observed
 mod tests {
     use super::*;
     use std::collections::HashSet;

@@ -26,6 +26,10 @@
 //! assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
 //! ```
 
+// Every HashMap in this module is Mix64Build-hashed (that is the point
+// of ShardedMap); clippy's type ban cannot see hasher parameters.
+#![allow(clippy::disallowed_types)]
+
 use crate::hash::Mix64Build;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash};

@@ -82,6 +82,7 @@ pub fn serpentine_layout(mesh: Mesh, vm_sizes: &[usize]) -> Vec<VmPlacement> {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_types)] // test-only scratch sets; order never observed
 mod tests {
     use super::*;
     use std::collections::HashSet;

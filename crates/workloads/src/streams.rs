@@ -182,6 +182,7 @@ impl StreamGenerator {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_types)] // test-only scratch sets; order never observed
 mod tests {
     use super::*;
     use crate::{spec2006, tailbench, MB};

@@ -17,9 +17,11 @@ cargo fmt --all -- --check
 echo "== cargo clippy (all targets, warnings are errors)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "== cargo clippy (types + sim + telemetry + bench crates, explicit gate)"
-cargo clippy --offline -p nuca-types -p nuca-sim -p jumanji-telemetry -p jumanji-bench \
-    --all-targets -- -D warnings
+echo "== jumanji-lint self-test (seeded fixture corpus, exact diagnostics)"
+cargo run --offline --release -p jumanji-lint -- --self-test
+
+echo "== jumanji-lint workspace scan (determinism / cache-key / unsafe / env gates)"
+cargo run --offline --release -p jumanji-lint
 
 echo "== cargo build --release"
 cargo build --offline --release

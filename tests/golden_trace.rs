@@ -14,6 +14,9 @@
 //! JUMANJI_UPDATE_GOLDEN=1 cargo test --release --test golden_trace
 //! ```
 
+// Test gates read their own opt-in env switches; never fingerprinted output.
+#![allow(clippy::disallowed_methods)]
+
 use jumanji::core::{AppKind, DesignKind, PlacementInput};
 use jumanji::prelude::*;
 use jumanji::sim::detail::{run_detailed, DetailOptions, DetailReport};
